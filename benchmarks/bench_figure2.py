@@ -1,0 +1,61 @@
+"""Figure 2 (paper Section 4): the worked strategy-proof-utility example.
+
+Regenerates every number in the Fig. 2 caption from the reconstructed
+schedule and checks them digit-for-digit against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure2_numbers, figure2_schedule
+
+from .conftest import once
+
+PAPER = {
+    "psi_o1_t13": 262,
+    "psi_o1_t14": 297,
+    "flow_time_o1": 70,
+    "gain_without_j2": 4,
+    "loss_j6_late": -6,
+    "loss_drop_j9": -10,
+}
+
+
+def test_figure2(benchmark):
+    numbers = once(benchmark, figure2_numbers)
+
+    print()
+    print("=" * 60)
+    print("Figure 2 -- worked psi_sp example")
+    print(f"{'quantity':<22}{'paper':>10}{'ours':>10}")
+    ours = {
+        "psi_o1_t13": numbers.psi_o1_t13,
+        "psi_o1_t14": numbers.psi_o1_t14,
+        "flow_time_o1": numbers.flow_time_o1,
+        "gain_without_j2": numbers.gain_without_j2,
+        "loss_j6_late": numbers.loss_j6_late,
+        "loss_drop_j9": numbers.loss_drop_j9,
+    }
+    for key, want in PAPER.items():
+        print(f"{key:<22}{want:>10}{ours[key]:>10}")
+    print("=" * 60)
+
+    assert ours == PAPER  # exact reproduction
+
+    # schedule itself is a feasible greedy schedule of the instance
+    sched = figure2_schedule()
+    assert sched.makespan() == 14
+
+
+def test_figure2_psi_evaluation_speed(benchmark):
+    """Throughput micro-benchmark: psi_sp evaluation over the Fig. 2
+    schedule at every t in [0, 14] (the hot inner loop of every fair
+    scheduler)."""
+    from repro.utility.strategyproof import psi_sp
+
+    pairs = figure2_schedule().org_pairs(0)
+
+    def evaluate():
+        return [psi_sp(pairs, t) for t in range(15)]
+
+    values = benchmark(evaluate)
+    assert values[13] == 262 and values[14] == 297

@@ -1,0 +1,94 @@
+"""Propositions 4.2 / 5.4 / 5.5 and the Theorem 5.3 gap, regenerated.
+
+These are the paper's supporting results; the benchmark prints each check's
+outcome so EXPERIMENTS.md can record them alongside the tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.greedy import fifo_select
+from repro.analysis.inapprox import order_reverse_gap
+from repro.analysis.properties import (
+    greedy_value_invariance,
+    non_supermodular_witness,
+    psi_flowtime_identity,
+)
+
+from .conftest import FULL, once
+from tests.conftest import random_workload
+
+
+def test_prop_4_2(benchmark):
+    n = 2000 if FULL else 400
+
+    def sweep():
+        rng = np.random.default_rng(0)
+        ok = 0
+        for _ in range(n):
+            p = int(rng.integers(1, 9))
+            count = int(rng.integers(1, 7))
+            starts = sorted(int(s) for s in rng.integers(0, 40, count))
+            releases = [int(rng.integers(0, s + 1)) for s in starts]
+            t = max(starts) + p + int(rng.integers(0, 10))
+            _, _, holds = psi_flowtime_identity(
+                [(s, p) for s in starts], releases, t
+            )
+            ok += holds
+        return ok
+
+    ok = once(benchmark, sweep)
+    print(f"\nProp 4.2 identity held on {ok}/{n} random instances")
+    assert ok == n
+
+
+def test_prop_5_4(benchmark):
+    n = 120 if FULL else 30
+
+    def longest_queue(engine):
+        return max(
+            engine.waiting_orgs(), key=lambda u: (engine.waiting_count(u), -u)
+        )
+
+    def sweep():
+        rng = np.random.default_rng(1)
+        ok = 0
+        for _ in range(n):
+            wl = random_workload(
+                rng, n_orgs=3, n_jobs=40, max_release=25, sizes=(1,)
+            )
+            ok += greedy_value_invariance(
+                wl, [fifo_select, longest_queue], [5, 10, 20, 30, 50]
+            )
+        return ok
+
+    ok = once(benchmark, sweep)
+    print(f"\nProp 5.4 (unit jobs, greedy-invariant values): {ok}/{n}")
+    assert ok == n
+
+
+def test_prop_5_5(benchmark):
+    w = once(benchmark, non_supermodular_witness)
+    print(
+        f"\nProp 5.5 witness: v(ac)={w.v_ac} v(bc)={w.v_bc} "
+        f"v(abc)={w.v_abc} v(c)={w.v_c} -> supermodular? "
+        f"{w.is_supermodular_here}"
+    )
+    assert (w.v_ac, w.v_bc, w.v_abc, w.v_c) == (4, 4, 7, 0)
+    assert not w.is_supermodular_here
+
+
+def test_theorem_5_3_gap(benchmark):
+    ms = (2, 4, 8, 16, 64, 256, 1024) if FULL else (2, 4, 8, 32, 128)
+
+    def sweep():
+        return [order_reverse_gap(m, 3) for m in ms]
+
+    gaps = once(benchmark, sweep)
+    print("\nTheorem 5.3 gap (relative distance sigma_ord vs sigma_rev):")
+    for g in gaps:
+        print(f"  m={g.n_orgs:>5}: ratio={g.ratio:.4f}")
+    ratios = [g.ratio for g in gaps]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 0.97  # -> 1, inapproximability regime

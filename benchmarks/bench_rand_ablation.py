@@ -1,0 +1,72 @@
+"""Ablation A1: RAND's sample count N (the paper runs N=15 and N=75).
+
+Sweeps N on unit-size workloads (where Theorem 5.6's FPRAS guarantee
+applies) and on general-size workloads (where RAND is a heuristic),
+reporting the fairness gap to REF and the wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.rand import RandScheduler
+from repro.algorithms.ref import RefScheduler
+from repro.sim.metrics import unfairness
+
+from .conftest import FULL, once
+from tests.conftest import random_workload
+
+NS = (1, 5, 15, 75) if not FULL else (1, 5, 15, 75, 200)
+
+
+def _sweep(sizes, machine_counts, n_jobs, t_end, seeds):
+    rows = []
+    for n_orderings in NS:
+        gaps, secs = [], 0.0
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            wl = random_workload(
+                rng,
+                n_orgs=3,
+                n_jobs=n_jobs,
+                max_release=t_end // 2,
+                sizes=sizes,
+                machine_counts=machine_counts,
+            )
+            ref = RefScheduler(horizon=t_end).run(wl)
+            t0 = time.perf_counter()
+            r = RandScheduler(n_orderings, seed=seed, horizon=t_end).run(wl)
+            secs += time.perf_counter() - t0
+            v = max(1, ref.value(t_end))
+            gaps.append(unfairness(r, ref, t_end) / v)
+        rows.append((n_orderings, float(np.mean(gaps)), secs / len(seeds)))
+    return rows
+
+
+def test_rand_sample_count_unit_jobs(benchmark):
+    seeds = range(8 if FULL else 4)
+    rows = once(benchmark, _sweep, (1,), [2, 1, 1], 60, 50, seeds)
+    print()
+    print("=" * 60)
+    print("RAND ablation (unit jobs, FPRAS regime)")
+    print(f"{'N':>5}{'rel. gap to REF':>18}{'sec/run':>10}")
+    for n, gap, sec in rows:
+        print(f"{n:>5}{gap:>18.4f}{sec:>10.3f}")
+    print("=" * 60)
+    # more samples must not hurt (allowing sampling noise)
+    assert rows[-1][1] <= rows[0][1] + 0.02
+
+
+def test_rand_sample_count_general_jobs(benchmark):
+    seeds = range(6 if FULL else 3)
+    rows = once(benchmark, _sweep, (2, 3, 7), [2, 1, 1], 40, 80, seeds)
+    print()
+    print("=" * 60)
+    print("RAND ablation (general job sizes, heuristic regime)")
+    print(f"{'N':>5}{'rel. gap to REF':>18}{'sec/run':>10}")
+    for n, gap, sec in rows:
+        print(f"{n:>5}{gap:>18.4f}{sec:>10.3f}")
+    print("=" * 60)
+    assert all(gap < 0.5 for _, gap, _ in rows)

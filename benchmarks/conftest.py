@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+it in the paper's layout next to the published values (EXPERIMENTS.md keeps
+the persistent record).  Default parameters are scaled for laptop runs; set
+
+    REPRO_BENCH_SCALE=full
+
+to use the paper's full-size durations and repetition counts (hours of CPU).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
+
+
+@pytest.fixture(scope="session")
+def bench_mode() -> str:
+    return "full" if FULL else "quick"
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    Table/figure regenerations take seconds to minutes; statistical timing
+    repetition is meaningless at that scale, so each runs a single round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

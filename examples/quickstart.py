@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Quickstart: Shapley-fair scheduling of a three-organization consortium.
+
+The instance is built to show *why* static shares mis-measure fairness:
+
+* org A brings 3 machines but submits nothing until t=12;
+* org B brings 1 machine and submits steadily;
+* org C brings **no machines** -- only jobs (a free rider by share-based
+  accounting, yet its jobs create value the moment idle machines exist).
+
+The classic FairShare algorithm (static machine-count shares) starves C;
+the Shapley-based REF credits every organization by its actual effect on
+the others and schedules C's work when that is what a fair division says.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FairShareScheduler,
+    Job,
+    Organization,
+    RefScheduler,
+    RoundRobinScheduler,
+    Workload,
+    avg_delay,
+    unfairness,
+)
+
+
+def build_workload() -> Workload:
+    orgs = [
+        Organization(0, machines=3, name="org-A"),
+        Organization(1, machines=1, name="org-B"),
+        Organization(2, machines=0, name="org-C"),
+    ]
+    jobs = [
+        # phase 1 (t=0..): B and C burst while A's machines sit idle
+        *[Job(release=0, org=1, index=i, size=4) for i in range(6)],
+        *[Job(release=0, org=2, index=i, size=4) for i in range(6)],
+        # phase 2 (t=12): everyone competes for the pool
+        *[Job(release=12, org=0, index=i, size=3) for i in range(6)],
+        *[Job(release=12, org=1, index=6 + i, size=3) for i in range(4)],
+        *[Job(release=12, org=2, index=6 + i, size=3) for i in range(4)],
+    ]
+    return Workload(orgs, jobs)
+
+
+def main() -> None:
+    wl = build_workload()
+    t_end = 30
+
+    ref_scheduler = RefScheduler(horizon=t_end, collect_contributions=True)
+    ref = ref_scheduler.run(wl)
+    fair_share = FairShareScheduler(horizon=t_end).run(wl)
+    round_robin = RoundRobinScheduler(horizon=t_end).run(wl)
+
+    print("instance:", wl.stats())
+    print()
+    contributions = ref.meta["contributions"]
+    print(f"{'':<8}{'machines':>9}{'phi (Shapley)':>15}"
+          f"{'psi REF':>9}{'psi FairShare':>15}{'psi RoundRobin':>16}")
+    for org in wl.organizations:
+        print(
+            f"{org.name:<8}{org.machines:>9}"
+            f"{float(contributions[org.id]):>15.1f}"
+            f"{ref.utilities(t_end)[org.id]:>9}"
+            f"{fair_share.utilities(t_end)[org.id]:>15}"
+            f"{round_robin.utilities(t_end)[org.id]:>16}"
+        )
+
+    print()
+    print("unfairness vs the exact fair schedule (paper's Delta-psi / p_tot,")
+    print("the average unjustified delay per unit of completed work):")
+    for name, result in (("FairShare", fair_share), ("RoundRobin", round_robin)):
+        print(
+            f"  {name:<12} delta_psi={unfairness(result, ref, t_end):>6.0f}"
+            f"   avg delay={avg_delay(result, ref, t_end):.2f}"
+        )
+
+    print()
+    print("note org-C: zero machines means zero *share*, so FairShare")
+    print("pushes its jobs to the back of every queue -- but its Shapley")
+    print("contribution is positive (its jobs are the value!), so the fair")
+    print("schedule treats it far better.  This is the paper's core point:")
+    print("contributions are dynamic, shares are not.")
+
+    print()
+    print("REF schedule (first 12 starts):")
+    for e in list(ref.schedule)[:12]:
+        print(
+            f"  t={e.start:<3} machine={e.machine} "
+            f"{wl.organizations[e.job.org].name} job#{e.job.index}"
+        )
+
+
+if __name__ == "__main__":
+    main()

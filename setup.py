@@ -1,0 +1,8 @@
+"""Compatibility shim: lets ``pip install -e .`` / ``setup.py develop`` work
+on minimal environments without the ``wheel`` package (PEP 660 editable
+installs need it; this legacy path does not).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

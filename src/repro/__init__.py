@@ -1,0 +1,102 @@
+"""repro: non-monetary fair scheduling via cooperative game theory.
+
+A complete reproduction of Skowron & Rzadca, *"Non-monetary fair
+scheduling -- a cooperative game theory approach"* (SPAA 2013,
+arXiv:1302.0948): the multi-organizational scheduling model, the
+strategy-proof utility, Shapley-value fairness, the exact exponential
+scheduler (REF), the randomized FPRAS (RAND), the practical heuristic
+(DIRECTCONTR), distributive-fairness baselines, the workload substrate and
+the full experimental harness.
+
+Quickstart::
+
+    import repro
+
+    wl = repro.Workload(
+        [repro.Organization(0, 2), repro.Organization(1, 1)],
+        [repro.Job(release=0, org=0, index=0, size=4),
+         repro.Job(release=0, org=1, index=0, size=4)],
+    )
+    result = repro.RefScheduler().run(wl)
+    print(result.utilities(t=8))
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .algorithms import (
+    CurrFairShareScheduler,
+    DirectContributionScheduler,
+    FairShareScheduler,
+    GeneralRefScheduler,
+    GreedyFifoScheduler,
+    RandScheduler,
+    RefScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SchedulerResult,
+    UtFairShareScheduler,
+)
+from .core import (
+    ClusterEngine,
+    Coalition,
+    Job,
+    Organization,
+    Schedule,
+    ScheduledJob,
+    Workload,
+)
+from .shapley import (
+    SchedulingGame,
+    hoeffding_samples,
+    shapley_exact,
+    shapley_sample,
+)
+from .sim import avg_delay, compare_algorithms, run_schedule, unfairness
+from .utility import (
+    FlowTimeUtility,
+    GeneralAnonymousUtility,
+    StrategyProofUtility,
+    UtilityFunction,
+    psi_sp,
+)
+from .workloads import load_swf, make_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterEngine",
+    "Coalition",
+    "CurrFairShareScheduler",
+    "DirectContributionScheduler",
+    "FairShareScheduler",
+    "FlowTimeUtility",
+    "GeneralAnonymousUtility",
+    "GeneralRefScheduler",
+    "GreedyFifoScheduler",
+    "Job",
+    "Organization",
+    "RandScheduler",
+    "RefScheduler",
+    "RoundRobinScheduler",
+    "Schedule",
+    "ScheduledJob",
+    "Scheduler",
+    "SchedulerResult",
+    "SchedulingGame",
+    "StrategyProofUtility",
+    "UtFairShareScheduler",
+    "UtilityFunction",
+    "Workload",
+    "__version__",
+    "avg_delay",
+    "compare_algorithms",
+    "hoeffding_samples",
+    "load_swf",
+    "make_trace",
+    "psi_sp",
+    "run_schedule",
+    "shapley_exact",
+    "shapley_sample",
+    "unfairness",
+]

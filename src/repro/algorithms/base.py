@@ -1,0 +1,142 @@
+"""Scheduler interface and the shared event-loop driver.
+
+Every algorithm of the paper (Section 7.1) is a :class:`Scheduler`:
+``run(workload) -> SchedulerResult``.  Simple algorithms (round robin, the
+fair share family, plain greedy FIFO) only choose *which organization's* job
+to start next and subclass :class:`PolicyScheduler`, which owns the
+event loop; REF / RAND / DIRECTCONTR override more of the machinery.
+
+All schedulers obey the paper's constraints by construction: greedy
+(never idle a machine while a job waits), non-preemptive, non-clairvoyant,
+FIFO within each organization.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.engine import ClusterEngine
+from ..core.schedule import Schedule
+from ..core.workload import Workload
+from ..utility.strategyproof import psi_sp
+
+__all__ = ["Scheduler", "PolicyScheduler", "SchedulerResult"]
+
+
+@dataclass(frozen=True)
+class SchedulerResult:
+    """The outcome of one scheduler run.
+
+    Utilities are re-derivable at *any* evaluation time from the start log
+    (``schedule``), because :math:`\\psi_{sp}` depends only on the
+    ``(start, size)`` pairs -- this is how the harness evaluates a single
+    run at several horizons.
+    """
+
+    algorithm: str
+    workload: Workload
+    members: tuple[int, ...]
+    schedule: Schedule
+    horizon: int | None = None
+    meta: dict = field(default_factory=dict)
+
+    def utilities(self, t: int) -> list[int]:
+        """Per-organization :math:`\\psi_{sp}` at time ``t`` (length k)."""
+        pairs_per_org: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.workload.n_orgs)
+        ]
+        for e in self.schedule:
+            pairs_per_org[e.job.org].append(e.pair())
+        return [psi_sp(pairs, t) for pairs in pairs_per_org]
+
+    def utility_vector(self, t: int) -> np.ndarray:
+        return np.array(self.utilities(t), dtype=np.int64)
+
+    def value(self, t: int) -> int:
+        """Coalition value ``v`` at ``t`` (sum of utilities)."""
+        return sum(self.utilities(t))
+
+    def completed_units(self, t: int) -> int:
+        """Unit-size job parts executed before ``t`` (the paper's p_tot when
+        evaluated on the reference schedule)."""
+        return self.schedule.busy_units(t)
+
+    def utilization(self, t: int) -> float:
+        m = sum(
+            self.workload.machines_of(u) for u in self.members
+        )
+        if m == 0 or t <= 0:
+            return 0.0
+        return self.schedule.busy_units(t) / (m * t)
+
+
+class Scheduler(ABC):
+    """A fair-scheduling algorithm (paper Section 7.1)."""
+
+    #: Display name used in tables (matches the paper's algorithm names).
+    name: str = "scheduler"
+
+    @abstractmethod
+    def run(
+        self, workload: Workload, members: Iterable[int] | None = None
+    ) -> SchedulerResult:
+        """Schedule the coalition ``members`` (default: all organizations)
+        of ``workload`` and return the resulting schedule and metadata."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PolicyScheduler(Scheduler):
+    """Event-loop driver for selection-policy algorithms.
+
+    Subclasses implement :meth:`select` (and may override
+    :meth:`schedule_event` for machine-level control, e.g. DIRECTCONTR).
+
+    Parameters
+    ----------
+    horizon:
+        Stop processing events at/after this time.  Utilities evaluated at
+        the horizon are unaffected by the cut (a job started at ``t``
+        contributes nothing to :math:`\\psi_{sp}(t)`).
+    """
+
+    def __init__(self, horizon: int | None = None):
+        self.horizon = horizon
+
+    # -- hooks ---------------------------------------------------------------
+    def on_run_start(self, engine: ClusterEngine) -> None:
+        """Per-run initialization hook (reset mutable policy state)."""
+
+    @abstractmethod
+    def select(self, engine: ClusterEngine) -> int:
+        """Choose the organization whose FIFO-head job starts now."""
+
+    def schedule_event(self, engine: ClusterEngine) -> None:
+        """Start jobs at the current event time while capacity remains."""
+        while engine.free_count > 0 and engine.has_waiting():
+            engine.start_next(self.select(engine))
+
+    # -- driver ----------------------------------------------------------------
+    def run(
+        self, workload: Workload, members: Iterable[int] | None = None
+    ) -> SchedulerResult:
+        engine = ClusterEngine(workload, members, horizon=self.horizon)
+        self.on_run_start(engine)
+        while True:
+            t = engine.next_event_time()
+            if t is None:
+                break
+            engine.advance_to(t)
+            self.schedule_event(engine)
+        return SchedulerResult(
+            algorithm=self.name,
+            workload=workload,
+            members=engine.members,
+            schedule=engine.schedule(),
+            horizon=self.horizon,
+        )

@@ -1,0 +1,371 @@
+"""REF: the exact (exponential) Shapley-fair scheduling algorithm.
+
+This implements the paper's Algorithm REF (Fig. 1) with the ψ_sp fast path
+of Fig. 3.  REF is the *referral* fair algorithm of Definition 3.2: at every
+time moment, for every subcoalition (recursively), it schedules the job of
+the organization minimizing the distance between the utility vector and the
+Shapley contribution vector.
+
+Mechanics (per event time ``t``, matching Fig. 1):
+
+1. every subcoalition's engine is advanced to ``t`` (releases/completions);
+2. coalition values ``v[C'] = sum_u psi_sp`` are computed at ``t`` -- note a
+   job started *at* ``t`` has zero executed parts, so time-``t`` decisions
+   cannot change time-``t`` values and the size-ordered processing of
+   Fig. 1 is well-defined;
+3. for each coalition with a free machine and waiting jobs, ``UpdateVals``
+   computes every member's Shapley contribution from the subcoalition
+   values (the Eq. 1 subset sum with factorial weights);
+4. while capacity remains, the member maximizing ``phi - psi`` starts its
+   FIFO-head job (Fig. 3's ``SelectAndSchedule``; ties broken by the lowest
+   organization id).
+
+Exactness: contributions are held as integers scaled by ``|C|!``
+(:func:`repro.core.coalition.scaled_shapley_weights`), and ψ_sp values are
+integers, so the comparison ``phi - psi`` is exact -- no floating-point tie
+ambiguity can flip a fairness decision.
+
+Complexity per event: ``O(k·3^k)`` for contributions plus ``O(2^k)`` engine
+advances -- Prop. 3.4's FPT bound (Cor. 3.5).  Use for small k (the paper
+runs k <= 10; REF is the fairness *benchmark* other algorithms are measured
+against).
+
+The general-utility variant of Fig. 1 (arbitrary ψ, explicit ``Distance``)
+is :class:`GeneralRefScheduler`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import factorial
+from typing import Iterable
+
+from ..core.coalition import (
+    iter_members,
+    iter_subsets,
+    popcount,
+    scaled_shapley_weights,
+    subsets_by_size,
+)
+from ..core.engine import ClusterEngine
+from ..core.events import EventQueue
+from ..core.workload import Workload
+from ..utility.base import UtilityFunction
+from ..utility.strategyproof import StrategyProofUtility
+from .base import Scheduler, SchedulerResult
+
+__all__ = ["RefScheduler", "GeneralRefScheduler", "update_vals_scaled"]
+
+
+def update_vals_scaled(mask: int, values: dict[int, int]) -> dict[int, int]:
+    """Shapley contributions of the members of ``mask``, scaled by ``|mask|!``.
+
+    The paper's ``UpdateVals`` (Fig. 1): for every subcoalition ``Csub`` of
+    ``mask`` and member ``u`` of ``Csub``, add
+    ``(|Csub|-1)! (|mask|-|Csub|)! * (v[Csub] - v[Csub \\ {u}])``.
+
+    ``values`` must contain every submask of ``mask`` (and 0).
+    """
+    size = popcount(mask)
+    weights = scaled_shapley_weights(size)
+    phi = {u: 0 for u in iter_members(mask)}
+    for sub in iter_subsets(mask):
+        if sub == 0:
+            continue
+        w = weights[popcount(sub)]
+        v_sub = values[sub]
+        for u in iter_members(sub):
+            phi[u] += w * (v_sub - values[sub ^ (1 << u)])
+    return phi
+
+
+def _members_mask(
+    workload: Workload, members: Iterable[int] | None
+) -> tuple[tuple[int, ...], int]:
+    members_t = (
+        tuple(sorted(set(members)))
+        if members is not None
+        else tuple(range(workload.n_orgs))
+    )
+    mask = 0
+    for u in members_t:
+        mask |= 1 << u
+    if mask == 0:
+        raise ValueError("need at least one organization")
+    return members_t, mask
+
+
+class _RefRun:
+    """One complete REF recursion: engines for every nonempty subcoalition,
+    driven to the horizon.  Exposes the grand engine and contribution state."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        members_t: tuple[int, ...],
+        grand_mask: int,
+        horizon: int | None,
+    ) -> None:
+        self.workload = workload
+        self.members_t = members_t
+        self.grand_mask = grand_mask
+        self.horizon = horizon
+        self.size_groups = subsets_by_size(grand_mask)
+        self.nonempty = [m for group in self.size_groups[1:] for m in group]
+        self.engines = {
+            m: ClusterEngine(workload, list(iter_members(m)), horizon=horizon)
+            for m in self.nonempty
+        }
+        self.last_phi_scaled: dict[int, int] = {}
+        self.last_event: int = 0
+        self._drive()
+
+    def _drive(self) -> None:
+        events = EventQueue(
+            j.release
+            for j in self.workload.jobs
+            if j.org in set(self.members_t)
+        )
+        horizon = self.horizon
+        while True:
+            t = events.pop()
+            if t is None or (horizon is not None and t >= horizon):
+                return
+            self.last_event = t
+            for m in self.nonempty:
+                self.engines[m].advance_to(t)
+            values = {0: 0}
+            for m in self.nonempty:
+                values[m] = self.engines[m].value(t)
+            for group in self.size_groups[1:]:
+                for m in group:
+                    eng = self.engines[m]
+                    if eng.free_count == 0 or not eng.has_waiting():
+                        continue
+                    phi_scaled = update_vals_scaled(m, values)
+                    if m == self.grand_mask:
+                        self.last_phi_scaled = dict(phi_scaled)
+                    fact = factorial(popcount(m))
+                    psis = eng.psis(t)
+                    keys = {
+                        u: phi_scaled[u] - fact * psis[u]
+                        for u in iter_members(m)
+                    }
+                    while eng.free_count > 0 and eng.has_waiting():
+                        u = max(
+                            eng.waiting_orgs(), key=lambda w: (keys[w], -w)
+                        )
+                        entry = eng.start_next(u)
+                        events.push(entry.end)
+
+    def values_at(self, t: int) -> dict[int, int]:
+        """Coalition values at ``t`` (all engines advanced at least to ``t``)."""
+        values = {0: 0}
+        for m in self.nonempty:
+            eng = self.engines[m]
+            if eng.t < t:
+                eng.advance_to(t)
+            values[m] = eng.value(t)
+        return values
+
+    def contributions_at(self, t: int) -> list[Fraction]:
+        """Exact Shapley contributions φ(u) of the grand coalition at ``t``."""
+        phi_scaled = update_vals_scaled(self.grand_mask, self.values_at(t))
+        denom = factorial(popcount(self.grand_mask))
+        out = [Fraction(0)] * self.workload.n_orgs
+        for u, val in phi_scaled.items():
+            out[u] = Fraction(val, denom)
+        return out
+
+
+class RefScheduler(Scheduler):
+    """Algorithm REF with the strategy-proof utility (Figs. 1 + 3).
+
+    Parameters
+    ----------
+    horizon:
+        Optional stop time (events at/after it are not processed; utilities
+        evaluated at the horizon are unaffected).
+    collect_contributions:
+        When True, ``result.meta["contributions"]`` holds the exact
+        grand-coalition Shapley contribution vector (Fractions) at the
+        horizon (or at the last event when no horizon was given).
+    """
+
+    name = "REF"
+
+    def __init__(
+        self, horizon: int | None = None, *, collect_contributions: bool = False
+    ):
+        self.horizon = horizon
+        self.collect_contributions = collect_contributions
+
+    def run(
+        self, workload: Workload, members: Iterable[int] | None = None
+    ) -> SchedulerResult:
+        """Build the exact fair schedule for the coalition ``members``."""
+        members_t, grand_mask = _members_mask(workload, members)
+        run = _RefRun(workload, members_t, grand_mask, self.horizon)
+        meta: dict = {}
+        if self.collect_contributions:
+            t_eval = (
+                self.horizon
+                if self.horizon is not None
+                else max(run.last_event, run.engines[grand_mask].t)
+            )
+            meta["contributions"] = run.contributions_at(t_eval)
+            meta["contributions_time"] = t_eval
+        return SchedulerResult(
+            algorithm=self.name,
+            workload=workload,
+            members=members_t,
+            schedule=run.engines[grand_mask].schedule(),
+            horizon=self.horizon,
+            meta=meta,
+        )
+
+    def contributions_at(
+        self,
+        workload: Workload,
+        t: int,
+        members: Iterable[int] | None = None,
+    ) -> list[Fraction]:
+        """Exact grand-coalition Shapley contributions φ(u) at time ``t``.
+
+        Runs the full REF recursion to ``t`` and applies Eq. 1 to the
+        resulting coalition values -- the "ideally fair" division of
+        ``v(C, t)`` that the REF schedule chases (Definition 3.1).
+        """
+        members_t, grand_mask = _members_mask(workload, members)
+        run = _RefRun(workload, members_t, grand_mask, horizon=t)
+        return run.contributions_at(t)
+
+
+class GeneralRefScheduler(Scheduler):
+    """Algorithm REF for an *arbitrary* utility function (Fig. 1).
+
+    Uses the explicit ``Distance`` selection rule.  Because every utility in
+    this model is non-clairvoyant, a job started at ``t`` has executed no
+    parts at ``t`` and the literal pseudo-code's
+    ``Delta-psi = psi(new, t) - psi(old, t)`` is identically zero; we
+    therefore evaluate the tentative insertion one step ahead (at ``t+1``,
+    when exactly one unit of the new job -- the only part knowable without
+    clairvoyance -- has executed).  With ψ_sp this reduces to Fig. 3's
+    argmax(φ−ψ) rule up to plateau ties, which we break by argmax(φ−ψ) and
+    then the organization id, keeping the two variants consistent (verified
+    in tests).
+    """
+
+    name = "REF-general"
+
+    def __init__(
+        self,
+        utility: UtilityFunction | None = None,
+        horizon: int | None = None,
+    ):
+        self.utility = utility or StrategyProofUtility()
+        self.horizon = horizon
+
+    def run(
+        self, workload: Workload, members: Iterable[int] | None = None
+    ) -> SchedulerResult:
+        members_t, grand_mask = _members_mask(workload, members)
+        util = self.utility
+        size_groups = subsets_by_size(grand_mask)
+        nonempty = [m for group in size_groups[1:] for m in group]
+        engines = {
+            m: ClusterEngine(
+                workload, list(iter_members(m)), horizon=self.horizon
+            )
+            for m in nonempty
+        }
+        # per-coalition per-org started-job (start, size) pairs
+        pairs: dict[int, dict[int, list[tuple[int, int]]]] = {
+            m: {u: [] for u in iter_members(m)} for m in nonempty
+        }
+        events = EventQueue(
+            j.release for j in workload.jobs if j.org in set(members_t)
+        )
+        while True:
+            t = events.pop()
+            if t is None or (self.horizon is not None and t >= self.horizon):
+                break
+            for m in nonempty:
+                engines[m].advance_to(t)
+            psi_tab = {
+                m: {
+                    u: Fraction(util.value(pairs[m][u], t))
+                    for u in iter_members(m)
+                }
+                for m in nonempty
+            }
+            values: dict[int, Fraction] = {0: Fraction(0)}
+            for m in nonempty:
+                values[m] = sum(psi_tab[m].values(), Fraction(0))
+            for group in size_groups[1:]:
+                for m in group:
+                    eng = engines[m]
+                    if eng.free_count == 0 or not eng.has_waiting():
+                        continue
+                    size = popcount(m)
+                    weights = scaled_shapley_weights(size)
+                    denom = factorial(size)
+                    phi = {u: Fraction(0) for u in iter_members(m)}
+                    for sub in iter_subsets(m):
+                        if sub == 0:
+                            continue
+                        w = weights[popcount(sub)]
+                        v_sub = values[sub]
+                        for u in iter_members(sub):
+                            phi[u] += w * (v_sub - values[sub ^ (1 << u)])
+                    for u in phi:
+                        phi[u] /= denom
+                    while eng.free_count > 0 and eng.has_waiting():
+                        u = self._select_distance(
+                            eng, util, pairs[m], phi, psi_tab[m], t, size
+                        )
+                        entry = eng.start_next(u)
+                        pairs[m][u].append(entry.pair())
+                        events.push(entry.end)
+
+        return SchedulerResult(
+            algorithm=self.name,
+            workload=workload,
+            members=members_t,
+            schedule=engines[grand_mask].schedule(),
+            horizon=self.horizon,
+            meta={"utility": util.name},
+        )
+
+    @staticmethod
+    def _select_distance(
+        eng: ClusterEngine,
+        util: UtilityFunction,
+        org_pairs: dict[int, list[tuple[int, int]]],
+        phi: dict[int, Fraction],
+        psi: dict[int, Fraction],
+        t: int,
+        size: int,
+    ) -> int:
+        """Fig. 1's ``Distance``: tentatively schedule each candidate's head
+        job and pick the one minimizing the Manhattan distance between the
+        updated contribution and utility vectors."""
+        waiting = eng.waiting_orgs()
+        best_u = waiting[0]
+        best_key: tuple[Fraction, Fraction, int] | None = None
+        for u in waiting:
+            # one knowable unit of the tentative job, evaluated at t+1
+            tentative = [*org_pairs[u], (t, 1)]
+            delta = Fraction(util.value(tentative, t + 1)) - Fraction(
+                util.value(org_pairs[u], t + 1)
+            )
+            share = delta / size
+            dist = abs(phi[u] + share - psi[u] - delta)
+            for w in phi:
+                if w != u:
+                    dist += abs(phi[w] + share - psi[w])
+            key = (dist, -(phi[u] - psi[u]), u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_u = u
+        return best_u

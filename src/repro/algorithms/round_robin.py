@@ -1,0 +1,37 @@
+"""ROUNDROBIN (paper Section 7.1): cycle through the organizations.
+
+The paper's unfairness baseline: an arbitrary scheduling policy with no
+notion of contribution.  It cycles over the organization list; at each start
+opportunity the next organization (in cyclic order) with a waiting job gets
+to run its FIFO-head job.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import ClusterEngine
+from .base import PolicyScheduler
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(PolicyScheduler):
+    """Cyclic selection over organizations (skipping empty queues)."""
+
+    name = "RoundRobin"
+
+    def __init__(self, horizon: int | None = None):
+        super().__init__(horizon)
+        self._pointer = 0
+
+    def on_run_start(self, engine: ClusterEngine) -> None:
+        self._pointer = 0
+
+    def select(self, engine: ClusterEngine) -> int:
+        members = engine.members
+        n = len(members)
+        for off in range(n):
+            u = members[(self._pointer + off) % n]
+            if engine.waiting_count(u) > 0:
+                self._pointer = (self._pointer + off + 1) % n
+                return u
+        raise RuntimeError("select called with no waiting jobs")

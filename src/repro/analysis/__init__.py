@@ -1,0 +1,54 @@
+"""Theory validation: utilization bounds (Theorem 6.2), the NP-hardness
+gadget (Theorem 5.1), the inapproximability gap (Theorem 5.3), and
+executable Propositions 4.2 / 5.4 / 5.5."""
+
+from .hardness import (
+    ORG_A,
+    ORG_B,
+    count_orderings_below,
+    decode_contribution,
+    gadget_eval_time,
+    gadget_large_size,
+    gadget_workload,
+    subsets_below,
+)
+from .inapprox import OrderReverseGap, order_reverse_gap
+from .properties import (
+    SupermodularityWitness,
+    greedy_value_invariance,
+    non_supermodular_witness,
+    psi_flowtime_identity,
+)
+from .utilization import (
+    competitive_ratio,
+    figure7_ratios,
+    figure7_workload,
+    greedy_busy_units,
+    preemptive_max_units,
+    random_adversarial_workload,
+    work_upper_bound,
+)
+
+__all__ = [
+    "ORG_A",
+    "ORG_B",
+    "OrderReverseGap",
+    "SupermodularityWitness",
+    "competitive_ratio",
+    "count_orderings_below",
+    "decode_contribution",
+    "figure7_ratios",
+    "figure7_workload",
+    "gadget_eval_time",
+    "gadget_large_size",
+    "gadget_workload",
+    "greedy_busy_units",
+    "greedy_value_invariance",
+    "non_supermodular_witness",
+    "order_reverse_gap",
+    "preemptive_max_units",
+    "psi_flowtime_identity",
+    "random_adversarial_workload",
+    "subsets_below",
+    "work_upper_bound",
+]

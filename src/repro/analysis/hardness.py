@@ -1,0 +1,158 @@
+"""The NP-hardness gadget of Theorem 5.1 (SUBSETSUM reduction).
+
+The paper proves that computing an organization's Shapley contribution is
+NP-hard by embedding SUBSETSUM into a scheduling instance: organizations
+``O_S = {O_1..O_k}`` mirror the set elements, plus two dummies -- ``a``
+(one machine, no jobs) and ``b`` (one machine, a blocker job and one huge
+job of size L).  The start time of the huge job in a coalition
+``C + {a}`` shifts by exactly one slot depending on whether the members of
+``C ∩ O_S`` sum below ``x``, so a's contribution encodes
+
+.. math::
+
+    n_{<x}(S) = \\sum_{S' \\subset S,\\ \\Sigma S' < x}
+                (|S'|+1)!\\,(|S|-|S'|)!
+
+via ``floor((k+2)! * phi_a / L) = n_{<x}(S)``; comparing the counts for
+``x`` and ``x+1`` answers SUBSETSUM.
+
+This module builds the gadget instance, provides the combinatorial oracle
+``n_{<x}``, and decodes contributions computed by the exact REF machinery --
+the integration test that our Shapley pipeline reproduces the reduction's
+arithmetic on tiny instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from math import factorial
+from typing import Sequence
+
+from ..core.job import Job
+from ..core.organization import Organization
+from ..core.workload import Workload
+
+__all__ = [
+    "gadget_workload",
+    "gadget_large_size",
+    "count_orderings_below",
+    "subsets_below",
+    "decode_contribution",
+    "gadget_eval_time",
+    "ORG_A",
+    "ORG_B",
+]
+
+
+def _validate_instance(values: Sequence[int], x: int) -> None:
+    if not values:
+        raise ValueError("SUBSETSUM set must be nonempty")
+    if any(v < 1 for v in values):
+        raise ValueError("SUBSETSUM values must be positive integers")
+    if x < 0:
+        raise ValueError("target x must be >= 0")
+
+
+def gadget_large_size(values: Sequence[int]) -> int:
+    """The reduction's L = 4 |S| x_tot^2 (k+2)! + 1 (with x_tot = sum + 2)."""
+    k = len(values)
+    x_tot = sum(values) + 2
+    return 4 * k * x_tot * x_tot * factorial(k + 2) + 1
+
+
+def gadget_workload(values: Sequence[int], x: int) -> Workload:
+    """Theorem 5.1's scheduling instance for SUBSETSUM(``values``, ``x``).
+
+    Organizations (ids):
+
+    * ``0..k-1`` -- the set organizations O_S, one machine each, four jobs:
+      two unit jobs at r=0, one size ``2*x_tot`` job at r=3, one size
+      ``2*values[i]`` job at r=4;
+    * ``k`` (:data:`ORG_A`) -- dummy ``a``: one machine, **no jobs**;
+    * ``k+1`` (:data:`ORG_B`) -- dummy ``b``: one machine, a blocker job
+      (r=2, size ``2x+2``) and the huge job (r=``2x+3``, size L).
+
+    The reduction's schedule structure (hence the decode guarantee of
+    :func:`decode_contribution`) holds for ``0 <= x <= sum(values) + 1``;
+    beyond that the huge job's release falls after every coalition has gone
+    idle and the one-slot shift the proof relies on disappears.  SUBSETSUM
+    is trivially false there, so the proof never needs that regime.
+    """
+    _validate_instance(values, x)
+    k = len(values)
+    x_tot = sum(values) + 2
+    big = gadget_large_size(values)
+    orgs = [Organization(i, 1) for i in range(k + 2)]
+    jobs: list[Job] = []
+    for i, xi in enumerate(values):
+        jobs.append(Job(0, i, 0, 1))
+        jobs.append(Job(0, i, 1, 1))
+        jobs.append(Job(3, i, 2, 2 * x_tot))
+        jobs.append(Job(4, i, 3, 2 * xi))
+    b = k + 1
+    jobs.append(Job(2, b, 0, 2 * x + 2))
+    jobs.append(Job(2 * x + 3, b, 1, big))
+    return Workload(orgs, jobs)
+
+
+#: Index helpers for the dummies in :func:`gadget_workload`'s layout.
+def ORG_A(values: Sequence[int]) -> int:
+    """Organization id of dummy ``a`` (the machine-only player)."""
+    return len(values)
+
+
+def ORG_B(values: Sequence[int]) -> int:
+    """Organization id of dummy ``b`` (blocker + huge job)."""
+    return len(values) + 1
+
+
+def subsets_below(values: Sequence[int], x: int) -> list[tuple[int, ...]]:
+    """All index subsets of ``values`` whose element sum is strictly below
+    ``x`` (including the empty subset when ``x > 0``)."""
+    out = []
+    idx = range(len(values))
+    for r in range(len(values) + 1):
+        for combo in combinations(idx, r):
+            if sum(values[i] for i in combo) < x:
+                out.append(combo)
+    return out
+
+
+def count_orderings_below(values: Sequence[int], x: int) -> int:
+    """:math:`n_{<x}(S) = \\sum_{S' : \\Sigma S' < x} (|S'|+1)!\\,(|S|-|S'|)!`.
+
+    Counts the joining orders of ``S + {a, b}`` in which ``a`` arrives right
+    after exactly the members of some below-``x`` subset plus ``b``.
+    """
+    _validate_instance(values, x)
+    k = len(values)
+    return sum(
+        factorial(len(sub) + 1) * factorial(k - len(sub))
+        for sub in subsets_below(values, x)
+    )
+
+
+def decode_contribution(
+    phi_a: Fraction, values: Sequence[int]
+) -> int:
+    """Recover :math:`n_{<x}(S)` from dummy ``a``'s exact contribution:
+    ``floor((k+2)! * phi_a / L)`` (Theorem 5.1's decoding step)."""
+    k = len(values)
+    big = gadget_large_size(values)
+    scaled = Fraction(phi_a) * factorial(k + 2)
+    return int(scaled / big)
+
+
+def gadget_eval_time(values: Sequence[int], x: int) -> int:
+    """A time by which every coalition's schedule has completed all jobs.
+
+    Every organization owns a machine, so any coalition finishes by
+    ``max_release + total_work``; evaluating contributions there makes them
+    final (Theorem 5.1 computes the contribution 'in time t' after the big
+    job is done everywhere).
+    """
+    wl = gadget_workload(values, x)
+    total = sum(j.size for j in wl.jobs)
+    max_release = max(j.release for j in wl.jobs)
+    return max_release + total + 1

@@ -1,0 +1,66 @@
+"""The inapproximability gap construction (paper Theorem 5.3's core).
+
+Theorem 5.3 shows no polynomial (1/2 - eps)-approximate fair scheduler
+exists (unless P=NP).  The heart of the argument is a family of instances
+where the *relative Manhattan distance* between two feasible schedules --
+``sigma_ord`` (organizations served in order 1..m) and ``sigma_rev`` (the
+exact reverse) -- tends to 1: m organizations, one machine, one identical
+job each.  An approximation better than 1/2 could tell the two apart and
+would decode a SUBSETSUM answer.
+
+This module computes the gap exactly so tests and the properties benchmark
+can verify ``gap -> 1`` as m grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utility.strategyproof import psi_sp
+
+__all__ = ["OrderReverseGap", "order_reverse_gap"]
+
+
+@dataclass(frozen=True)
+class OrderReverseGap:
+    """The exact gap numbers for one (m, p) instance."""
+
+    n_orgs: int
+    job_size: int
+    delta_psi: int  #: Manhattan distance between the two utility vectors
+    total_value: int  #: v = sum of utilities (equal in both schedules)
+    ratio: float  #: delta_psi / total_value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"m={self.n_orgs} p={self.job_size}: "
+            f"delta={self.delta_psi} v={self.total_value} "
+            f"ratio={self.ratio:.4f}"
+        )
+
+
+def order_reverse_gap(n_orgs: int, job_size: int = 1) -> OrderReverseGap:
+    """Exact relative distance between sigma_ord and sigma_rev.
+
+    One machine; organization u's single size-``p`` job starts at ``u*p`` in
+    sigma_ord and at ``(m-1-u)*p`` in sigma_rev; utilities evaluated when
+    the last job completes (``t = m*p``).
+    """
+    if n_orgs < 1:
+        raise ValueError("need at least one organization")
+    if job_size < 1:
+        raise ValueError("job size must be >= 1")
+    m, p = n_orgs, job_size
+    t = m * p
+    ord_util = [psi_sp([(u * p, p)], t) for u in range(m)]
+    rev_util = [psi_sp([((m - 1 - u) * p, p)], t) for u in range(m)]
+    delta = sum(abs(a - b) for a, b in zip(ord_util, rev_util))
+    total = sum(ord_util)
+    assert total == sum(rev_util)  # same schedule shape, same total value
+    return OrderReverseGap(
+        n_orgs=m,
+        job_size=p,
+        delta_psi=delta,
+        total_value=total,
+        ratio=delta / total if total else 0.0,
+    )

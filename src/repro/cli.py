@@ -1,0 +1,194 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro figure2           # Fig. 2 worked example (exact)
+    python -m repro figure7           # Fig. 7 utilization example (exact)
+    python -m repro gap               # Theorem 5.3 inapproximability gap
+    python -m repro gadget 1,2 2      # Theorem 5.1 SUBSETSUM decoding
+    python -m repro demo              # quick consortium comparison
+    python -m repro table1 [--duration D --repeats R --full]
+    python -m repro table2 [...]
+    python -m repro figure10 [--orgs 2,3,4,5]
+
+Every command prints the paper-layout output used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Non-monetary fair scheduling (SPAA'13) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure2", help="Fig. 2 worked utility example")
+    sub.add_parser("figure7", help="Fig. 7 greedy utilization example")
+
+    gap = sub.add_parser("gap", help="Theorem 5.3 order/reverse gap")
+    gap.add_argument("--max-orgs", type=int, default=256)
+
+    gadget = sub.add_parser("gadget", help="Theorem 5.1 SUBSETSUM gadget")
+    gadget.add_argument("values", help="comma-separated positive ints, e.g. 1,2")
+    gadget.add_argument("x", type=int, help="target sum")
+
+    demo = sub.add_parser("demo", help="consortium comparison on a trace window")
+    demo.add_argument("--trace", default="LPC-EGEE")
+    demo.add_argument("--duration", type=int, default=3000)
+    demo.add_argument("--orgs", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=7)
+
+    for name, dur, reps in (("table1", 5_000, 3), ("table2", 20_000, 2)):
+        t = sub.add_parser(name, help=f"regenerate {name} (scaled)")
+        t.add_argument("--duration", type=int, default=dur)
+        t.add_argument("--repeats", type=int, default=reps)
+        t.add_argument("--seed", type=int, default=0)
+
+    f10 = sub.add_parser("figure10", help="unfairness vs #organizations")
+    f10.add_argument("--orgs", default="2,3,4,5")
+    f10.add_argument("--duration", type=int, default=3000)
+    f10.add_argument("--repeats", type=int, default=2)
+    return parser
+
+
+def _cmd_figure2() -> None:
+    from .experiments.figures import figure2_numbers, figure2_schedule, figure2_workload
+    from .viz import gantt
+
+    n = figure2_numbers()
+    print("Figure 2 -- worked psi_sp example (paper values in parens)")
+    print(f"  psi_sp(O1, t=13) = {n.psi_o1_t13}  (262)")
+    print(f"  psi_sp(O1, t=14) = {n.psi_o1_t14}  (297)")
+    print(f"  flow time (O1)   = {n.flow_time_o1}  (70)")
+    print(f"  without J(2)1    : {n.gain_without_j2:+d}  (+4)")
+    print(f"  J6 one unit late : {n.loss_j6_late:+d}  (-6)")
+    print(f"  J9 dropped       : {n.loss_drop_j9:+d}  (-10)")
+    print()
+    print(gantt(figure2_schedule(), 3, 14))
+
+
+def _cmd_figure7() -> None:
+    from .analysis.utilization import figure7_ratios
+
+    best, worst = figure7_ratios()
+    print("Figure 7 -- greedy utilization at T=6 (paper: 100% / 75%)")
+    print(f"  O(2)-first greedy: {best:.0%}")
+    print(f"  O(1)-first greedy: {worst:.0%}")
+
+
+def _cmd_gap(max_orgs: int) -> None:
+    from .analysis.inapprox import order_reverse_gap
+
+    print("Theorem 5.3 -- relative distance between sigma_ord and sigma_rev")
+    m = 2
+    while m <= max_orgs:
+        g = order_reverse_gap(m, 3)
+        print(f"  m={m:>5}: {g.ratio:.4f}")
+        m *= 2
+    print("  -> tends to 1: no (1/2 - eps)-approximation can separate them")
+
+
+def _cmd_gadget(values_csv: str, x: int) -> None:
+    from .algorithms.ref import RefScheduler
+    from .analysis.hardness import (
+        ORG_A,
+        count_orderings_below,
+        decode_contribution,
+        gadget_eval_time,
+        gadget_workload,
+    )
+
+    values = [int(v) for v in values_csv.split(",")]
+    a = ORG_A(values)
+
+    def decoded(target: int) -> int:
+        wl = gadget_workload(values, target)
+        phi = RefScheduler().contributions_at(wl, gadget_eval_time(values, target))
+        return decode_contribution(phi[a], values)
+
+    d_x, d_x1 = decoded(x), decoded(x + 1)
+    print(f"Theorem 5.1 gadget for S={values}, x={x}")
+    print(f"  decoded n_<{x}(S)   = {d_x}  (oracle {count_orderings_below(values, x)})")
+    print(f"  decoded n_<{x+1}(S) = {d_x1}  (oracle {count_orderings_below(values, x + 1)})")
+    print(f"  subset summing to exactly {x} exists: {d_x1 > d_x}")
+
+
+def _cmd_demo(trace: str, duration: int, orgs: int, seed: int) -> None:
+    from .algorithms import RefScheduler
+    from .experiments.harness import (
+        ExperimentConfig,
+        default_algorithms,
+        sample_instance,
+    )
+    from .sim.runner import compare_algorithms
+    from .viz import fairness_report
+
+    config = ExperimentConfig(
+        traces=(trace,), n_orgs=orgs, duration=duration, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    workload = sample_instance(trace, config, rng)
+    print(f"{trace} window: {workload.stats()}")
+    comparison = compare_algorithms(
+        default_algorithms(duration, seed),
+        RefScheduler(horizon=duration),
+        workload,
+        duration,
+    )
+    print(fairness_report(comparison))
+
+
+def _cmd_table(which: str, duration: int, repeats: int, seed: int) -> None:
+    from .experiments.reporting import render_table
+    from .experiments.tables import table1, table2
+
+    fn = table1 if which == "table1" else table2
+    result = fn(duration=duration, n_repeats=repeats, seed=seed)
+    print(render_table(result, title=f"{which} (scaled reproduction)"))
+
+
+def _cmd_figure10(orgs_csv: str, duration: int, repeats: int) -> None:
+    from .experiments.figures import figure10
+    from .experiments.reporting import render_series
+    from .viz import sparkline
+
+    org_counts = tuple(int(v) for v in orgs_csv.split(","))
+    xs, series = figure10(org_counts, duration=duration, n_repeats=repeats)
+    print(render_series(xs, series, "organizations", "Figure 10 (scaled)"))
+    print()
+    for name, ys in series.items():
+        print(f"  {name:<16} {sparkline(ys)}")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figure2":
+        _cmd_figure2()
+    elif args.command == "figure7":
+        _cmd_figure7()
+    elif args.command == "gap":
+        _cmd_gap(args.max_orgs)
+    elif args.command == "gadget":
+        _cmd_gadget(args.values, args.x)
+    elif args.command == "demo":
+        _cmd_demo(args.trace, args.duration, args.orgs, args.seed)
+    elif args.command in ("table1", "table2"):
+        _cmd_table(args.command, args.duration, args.repeats, args.seed)
+    elif args.command == "figure10":
+        _cmd_figure10(args.orgs, args.duration, args.repeats)
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

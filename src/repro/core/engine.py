@@ -1,0 +1,418 @@
+"""Event-driven online cluster simulator (one instance per coalition).
+
+This is the execution substrate shared by *every* scheduling algorithm in the
+library.  It models the paper's system (Section 2): a pool of identical
+processors contributed by coalition members, per-organization FIFO queues of
+released-but-unstarted jobs, non-preemptive execution, and the *greedy*
+invariant (a free machine plus a waiting job forces a start).
+
+Design notes (see DESIGN.md §2):
+
+* **Event-driven**: scheduling decisions only occur at release/completion
+  times; the engine advances lazily between them.  Tests prove equivalence
+  with a literal per-time-tick transcription of the paper's pseudo-code
+  (:mod:`repro.sim.tick_reference`).
+* **Exact integer utility aggregates**: the strategy-proof utility
+  :math:`\\psi_{sp}` of a completed job ``(s, p)`` at time ``t`` is
+  ``p*(t-s) - p*(p-1)/2``, so per-organization sums ``(Σp, Σ(p·s+p(p-1)/2))``
+  plus an O(#running) pass give :math:`\\psi_{sp}` at any event time in exact
+  integer arithmetic.  The same bookkeeping keyed by the *machine owner*
+  supports DIRECTCONTR's contribution estimate.
+* **Non-clairvoyance**: scheduler-facing accessors never expose the size of
+  a running job; sizes become visible only through completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Iterable, Sequence
+
+from .job import Job
+from .schedule import Schedule, ScheduledJob
+from .workload import Workload
+
+__all__ = ["ClusterEngine", "RunningJob"]
+
+
+class RunningJob:
+    """A job currently occupying a machine (scheduler-visible fields only)."""
+
+    __slots__ = ("job", "start", "machine", "finish")
+
+    def __init__(self, job: Job, start: int, machine: int):
+        self.job = job
+        self.start = start
+        self.machine = machine
+        self.finish = start + job.size  # engine-internal; hidden from policies
+
+    @property
+    def org(self) -> int:
+        return self.job.org
+
+
+class ClusterEngine:
+    """Simulates one coalition's cluster, driven by an external orchestrator.
+
+    Parameters
+    ----------
+    workload:
+        The full problem instance.  Only the jobs and machines of coalition
+        ``members`` participate.
+    members:
+        Coalition member organization ids (default: all).  Machine ids are
+        global (canonical layout: org 0's machines first), so the same job
+        placed by different coalitions refers to consistent machine ids.
+    horizon:
+        Optional stop time: events at ``t >= horizon`` are not processed.
+        Utilities evaluated *at* the horizon are unaffected (a job started at
+        ``t`` contributes nothing to :math:`\\psi_{sp}(t)`).
+
+    The orchestration contract is::
+
+        while (t := engine.next_event_time()) is not None:
+            engine.advance_to(t)
+            while engine.free_count > 0 and engine.has_waiting():
+                engine.start_next(chosen_org)
+
+    (:meth:`drive` packages this loop for simple policies.)
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        members: Iterable[int] | None = None,
+        *,
+        horizon: int | None = None,
+    ) -> None:
+        self.workload = workload
+        k = workload.n_orgs
+        self.n_orgs = k
+        self.members: tuple[int, ...] = (
+            tuple(sorted(set(members))) if members is not None else tuple(range(k))
+        )
+        for u in self.members:
+            if not 0 <= u < k:
+                raise ValueError(f"unknown organization {u}")
+        self.horizon = horizon
+
+        # --- machines (canonical global ids, filtered to members) --------
+        owners: list[int] = []
+        for org in workload.organizations:
+            owners.extend([org.id] * org.machines)
+        self.machine_owner: dict[int, int] = {
+            mid: o for mid, o in enumerate(owners) if o in set(self.members)
+        }
+        self.n_machines = len(self.machine_owner)
+        self._free: list[int] = sorted(self.machine_owner)  # min-heap of ids
+        heapq.heapify(self._free)
+
+        # --- job release stream (members only, canonical order) ----------
+        self._stream: list[Job] = sorted(
+            j for j in workload.jobs if j.org in set(self.members)
+        )
+        self._stream_pos = 0
+        self._pending: dict[int, deque[Job]] = {u: deque() for u in self.members}
+        self._n_waiting = 0
+
+        # --- execution state ---------------------------------------------
+        self.t = 0
+        self._busy: list[tuple[int, int]] = []  # (finish, machine) heap
+        self._running: dict[int, RunningJob] = {}  # machine -> RunningJob
+
+        # --- psi_sp aggregates (exact ints) --------------------------------
+        # by job owner
+        self._done_units = [0] * k
+        self._done_wstart = [0] * k
+        # by machine owner (for DIRECTCONTR-style contribution accounting)
+        self._done_units_mach = [0] * k
+        self._done_wstart_mach = [0] * k
+
+        self._log: list[ScheduledJob] = []
+        self._completed: list[ScheduledJob] = []
+
+    # ------------------------------------------------------------------
+    # event iteration
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> int | None:
+        """Next release or completion time after the current time, or None.
+
+        Returns ``None`` once there is nothing left to do (or every
+        remaining event is at/after the horizon).
+        """
+        candidates: list[int] = []
+        if self._stream_pos < len(self._stream):
+            candidates.append(self._stream[self._stream_pos].release)
+        if self._busy:
+            candidates.append(self._busy[0][0])
+        if not candidates:
+            return None
+        t = min(candidates)
+        if self.horizon is not None and t >= self.horizon:
+            return None
+        return t
+
+    def advance_to(self, t: int) -> None:
+        """Process all completions and releases at times ``<= t``.
+
+        Completions are processed before releases at equal times; neither
+        ordering affects utilities (both only enable scheduling *at* ``t``).
+        """
+        if t < self.t:
+            raise ValueError(f"cannot advance backwards ({self.t} -> {t})")
+        while self._busy and self._busy[0][0] <= t:
+            finish, machine = heapq.heappop(self._busy)
+            run = self._running.pop(machine)
+            self._complete(run)
+            heapq.heappush(self._free, machine)
+        while (
+            self._stream_pos < len(self._stream)
+            and self._stream[self._stream_pos].release <= t
+        ):
+            job = self._stream[self._stream_pos]
+            self._stream_pos += 1
+            self._pending[job.org].append(job)
+            self._n_waiting += 1
+        self.t = t
+
+    def _complete(self, run: RunningJob) -> None:
+        p = run.job.size
+        s = run.start
+        tri = p * s + p * (p - 1) // 2
+        u = run.job.org
+        self._done_units[u] += p
+        self._done_wstart[u] += tri
+        mo = self.machine_owner[run.machine]
+        self._done_units_mach[mo] += p
+        self._done_wstart_mach[mo] += tri
+        self._completed.append(ScheduledJob(run.start, run.machine, run.job))
+
+    # ------------------------------------------------------------------
+    # scheduler-facing state (non-clairvoyant: no running sizes exposed)
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def free_machines(self) -> list[int]:
+        """Ids of currently free machines (sorted)."""
+        return sorted(self._free)
+
+    def has_waiting(self) -> bool:
+        """True when any member has a released, unstarted job."""
+        return self._n_waiting > 0
+
+    def waiting_count(self, org: int) -> int:
+        """Released-but-unstarted jobs of one organization."""
+        return len(self._pending[org])
+
+    def waiting_orgs(self) -> list[int]:
+        """Members with at least one released, unstarted job (ascending)."""
+        return [u for u in self.members if self._pending[u]]
+
+    def head_release(self, org: int) -> int:
+        """Release time of the organization's first waiting job."""
+        return self._pending[org][0].release
+
+    def running_count(self, org: int) -> int:
+        """Currently executing jobs of one organization."""
+        return sum(1 for r in self._running.values() if r.org == org)
+
+    def running_counts(self) -> list[int]:
+        """Currently executing jobs per organization (length k)."""
+        out = [0] * self.n_orgs
+        for r in self._running.values():
+            out[r.org] += 1
+        return out
+
+    def running_on(self, machine: int) -> RunningJob | None:
+        """The job currently on ``machine`` (None if the machine is free)."""
+        return self._running.get(machine)
+
+    def consumed_cpu(self, org: int, t: int | None = None) -> int:
+        """CPU time consumed by the organization's jobs up to ``t``.
+
+        Completed work plus elapsed time of running jobs -- the quantity the
+        classic FAIRSHARE algorithm balances against target shares.
+        """
+        t = self.t if t is None else t
+        total = self._done_units[org]
+        for r in self._running.values():
+            if r.org == org:
+                total += min(t, r.finish) - r.start
+        return total
+
+    # ------------------------------------------------------------------
+    # psi_sp utilities (exact integers)
+    # ------------------------------------------------------------------
+    def psi(self, org: int, t: int | None = None) -> int:
+        """:math:`\\psi_{sp}` (paper Eq. 3) of one organization at time ``t``.
+
+        O(#running) for the current time (the hot path during simulation);
+        retrospective queries (``t < self.t``) recompute from the start log.
+        """
+        t = self.t if t is None else t
+        if t < self.t:
+            return self.psis(t)[org]
+        val = self._done_units[org] * t - self._done_wstart[org]
+        for r in self._running.values():
+            if r.org == org:
+                val += _partial_psi(r.start, r.job.size, t)
+        return val
+
+    def psis(self, t: int | None = None) -> list[int]:
+        """Per-organization :math:`\\psi_{sp}` values in one pass (length k)."""
+        t = self.t if t is None else t
+        out = [0] * self.n_orgs
+        if t < self.t:
+            # retrospective: the completed-job aggregates assume full
+            # execution by t, so recompute exactly from the start log
+            for e in self._log:
+                out[e.job.org] += _partial_psi(e.start, e.job.size, t)
+            return out
+        for u in range(self.n_orgs):
+            out[u] = self._done_units[u] * t - self._done_wstart[u]
+        for r in self._running.values():
+            out[r.org] += _partial_psi(r.start, r.job.size, t)
+        return out
+
+    def psis_by_machine_owner(self, t: int | None = None) -> list[int]:
+        """:math:`\\psi_{sp}` of work executed on each organization's machines.
+
+        The DIRECTCONTR contribution estimate: the utility an organization's
+        processors *produced* (for anyone), at time ``t``.
+        """
+        t = self.t if t is None else t
+        out = [0] * self.n_orgs
+        if t < self.t:
+            for e in self._log:
+                out[self.machine_owner[e.machine]] += _partial_psi(
+                    e.start, e.job.size, t
+                )
+            return out
+        for u in range(self.n_orgs):
+            out[u] = self._done_units_mach[u] * t - self._done_wstart_mach[u]
+        for machine, r in self._running.items():
+            out[self.machine_owner[machine]] += _partial_psi(
+                r.start, r.job.size, t
+            )
+        return out
+
+    def value(self, t: int | None = None) -> int:
+        """Coalition value ``v(C, t)`` = total :math:`\\psi_{sp}` (paper §2)."""
+        return sum(self.psis(t))
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def start_next(self, org: int, machine: int | None = None) -> ScheduledJob:
+        """Start the organization's first waiting job now (FIFO order).
+
+        Parameters
+        ----------
+        machine:
+            Specific free machine id (DIRECTCONTR chooses machines in random
+            order); default is the lowest-id free machine.
+        """
+        if not self._pending[org]:
+            raise ValueError(f"org {org} has no waiting job at t={self.t}")
+        if not self._free:
+            raise ValueError(f"no free machine at t={self.t}")
+        if machine is None:
+            machine = heapq.heappop(self._free)
+        else:
+            if machine not in self._free:
+                raise ValueError(f"machine {machine} is not free at t={self.t}")
+            self._free.remove(machine)
+            heapq.heapify(self._free)
+        job = self._pending[org].popleft()
+        self._n_waiting -= 1
+        run = RunningJob(job, self.t, machine)
+        self._running[machine] = run
+        heapq.heappush(self._busy, (run.finish, machine))
+        entry = ScheduledJob(self.t, machine, job)
+        self._log.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # orchestration helpers
+    # ------------------------------------------------------------------
+    def drive(self, select, until: int | None = None) -> None:
+        """Run the standard greedy event loop with a selection callback.
+
+        ``select(engine) -> org_id`` is invoked while a machine is free and
+        jobs wait.  Processing stops when events are exhausted or the next
+        event is at/after ``until`` (events exactly at ``until`` *are*
+        processed so values at ``until`` reflect every earlier decision).
+        """
+        while True:
+            t = self.next_event_time()
+            if t is None or (until is not None and t > until):
+                return
+            self.advance_to(t)
+            while self._free and self._n_waiting:
+                self.start_next(select(self))
+
+    def is_idle(self) -> bool:
+        """True when no job is running and none is waiting."""
+        return not self._running and self._n_waiting == 0
+
+    def done(self) -> bool:
+        """True when every job has been released, run and completed."""
+        return (
+            self._stream_pos == len(self._stream)
+            and not self._running
+            and self._n_waiting == 0
+        )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def completed_log(self) -> list[ScheduledJob]:
+        """Completed jobs in completion order (treat as read-only).
+
+        Completion is when a job's size becomes visible (non-clairvoyance);
+        DIRECTCONTR's faithful accounting consumes this list incrementally.
+        """
+        return self._completed
+
+    def schedule(self) -> Schedule:
+        """The schedule built so far (started jobs, including running ones)."""
+        return Schedule(self._log)
+
+    def busy_units(self, t: int | None = None) -> int:
+        """Unit-size job parts executed strictly before ``t`` (Section 6)."""
+        t = self.t if t is None else t
+        total = sum(self._done_units)
+        # completed jobs may extend past t if t is in their past: recompute
+        # exactly from the log instead when t is before current time.
+        if t < self.t:
+            return sum(
+                min(e.job.size, max(0, t - e.start)) for e in self._log
+            )
+        for r in self._running.values():
+            total += max(0, min(t, r.finish) - r.start)
+        return total
+
+    def utilization(self, t: int | None = None) -> float:
+        """Average fraction of busy processors during ``[0, t)``."""
+        t = self.t if t is None else t
+        if t <= 0 or self.n_machines == 0:
+            return 0.0
+        return self.busy_units(t) / (t * self.n_machines)
+
+
+def _partial_psi(start: int, size: int, t: int) -> int:
+    """:math:`\\psi_{sp}` contribution at ``t`` of a single job ``(start, size)``.
+
+    ``c = min(size, t - start)`` unit parts have been executed by ``t``; the
+    part run in slot ``start + i`` is worth ``t - start - i``:
+    ``sum = c*(t-start) - c*(c-1)/2``  (exact integer).
+    """
+    c = t - start
+    if c <= 0:
+        return 0
+    if c > size:
+        c = size
+    return c * (t - start) - c * (c - 1) // 2

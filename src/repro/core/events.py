@@ -1,0 +1,58 @@
+"""A deduplicating min-heap of event times.
+
+The simulators are event-driven: schedulers act only at release and
+completion times, because between two consecutive events no machine frees up
+and no job arrives, so a *greedy* schedule (the paper's feasible class)
+cannot change.  Multiple engines (one per coalition in REF/RAND) push their
+completion times into one shared queue; duplicates are coalesced so each
+time moment is processed once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of integer time points with de-duplication on pop."""
+
+    __slots__ = ("_heap", "_last")
+
+    def __init__(self, times: Iterable[int] = ()):
+        self._heap: list[int] = list(times)
+        heapq.heapify(self._heap)
+        self._last: int | None = None
+
+    def push(self, t: int) -> None:
+        """Add a candidate event time (duplicates are fine)."""
+        heapq.heappush(self._heap, t)
+
+    def pop(self) -> int | None:
+        """Smallest not-yet-returned time, or ``None`` when exhausted.
+
+        Times less than or equal to the previously popped time are skipped:
+        pushing an event at or before the current time cannot create new
+        scheduling opportunities (they were handled when that time was
+        processed).
+        """
+        while self._heap:
+            t = heapq.heappop(self._heap)
+            if self._last is None or t > self._last:
+                self._last = t
+                return t
+        return None
+
+    def peek(self) -> int | None:
+        """Smallest pending time without popping (skipping stale entries)."""
+        while self._heap and self._last is not None and self._heap[0] <= self._last:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def __bool__(self) -> bool:
+        return self.peek() is not None
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,46 @@
+"""Experiment harness regenerating every table and figure of Section 7."""
+
+from .figures import (
+    FIGURE10_PAPER_SHAPE,
+    Figure2Numbers,
+    figure2_numbers,
+    figure2_schedule,
+    figure7_numbers,
+    figure10,
+)
+from .harness import (
+    DEFAULT_SCALES,
+    ExperimentConfig,
+    ExperimentResult,
+    InstanceResult,
+    default_algorithms,
+    run_experiment,
+    run_instance,
+    sample_instance,
+)
+from .reporting import format_cell, render_series, render_table
+from .tables import TABLE1_PAPER, TABLE2_PAPER, table1, table2
+
+__all__ = [
+    "DEFAULT_SCALES",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FIGURE10_PAPER_SHAPE",
+    "Figure2Numbers",
+    "InstanceResult",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "default_algorithms",
+    "figure10",
+    "figure2_numbers",
+    "figure2_schedule",
+    "figure7_numbers",
+    "format_cell",
+    "render_series",
+    "render_table",
+    "run_experiment",
+    "run_instance",
+    "sample_instance",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,235 @@
+"""The Section 7.2 experimental protocol.
+
+One *instance* of the paper's experiment:
+
+1. generate (or load) a long trace;
+2. pick a random sub-trace window ``[t_start, t_start + D)``;
+3. distribute user identifiers uniformly among ``k`` organizations;
+4. distribute the processors among organizations (Zipf or uniform counts);
+5. run every algorithm plus the exact REF reference;
+6. score each algorithm with :math:`\\Delta\\psi / p_{tot}` at ``t_end = D``.
+
+Repeated ``n_repeats`` times with fresh seeds; Tables 1-2 report the mean
+and standard deviation per (algorithm, trace).
+
+**Scaling** -- the paper's full-size configuration (e.g. RICC: 8192
+processors, horizon 5*10^5, 100 repetitions) needs hours of CPU.  The
+``scale`` knob shrinks machines/users/job-lengths proportionally (see
+:meth:`repro.workloads.traces.TraceProfile.spec`) while preserving load
+factors and therefore the paper's qualitative comparisons; EXPERIMENTS.md
+records both the paper's numbers and ours.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..algorithms import (
+    CurrFairShareScheduler,
+    DirectContributionScheduler,
+    FairShareScheduler,
+    RandScheduler,
+    RefScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    UtFairShareScheduler,
+)
+from ..core.workload import Workload
+from ..sim.metrics import avg_delay
+from ..workloads.traces import make_trace
+from ..workloads.transforms import (
+    assign_users_to_orgs,
+    build_workload,
+    uniform_machine_split,
+    zipf_machine_split,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "InstanceResult",
+    "ExperimentResult",
+    "assign_instance",
+    "default_algorithms",
+    "run_experiment",
+    "run_instance",
+    "sample_instance",
+    "sample_window",
+]
+
+#: Factory signature: given the horizon, build fresh scheduler objects.
+AlgorithmFactory = Callable[[int, int], list[Scheduler]]
+
+
+def default_algorithms(horizon: int, seed: int) -> list[Scheduler]:
+    """The paper's Table 1/2 row set (Section 7.1)."""
+    return [
+        RoundRobinScheduler(horizon=horizon),
+        RandScheduler(n_orderings=15, seed=seed, horizon=horizon),
+        DirectContributionScheduler(seed=seed, horizon=horizon),
+        FairShareScheduler(horizon=horizon),
+        UtFairShareScheduler(horizon=horizon),
+        CurrFairShareScheduler(horizon=horizon),
+    ]
+
+
+#: Default per-trace shrink factors chosen so a scaled instance keeps
+#: 14-35 machines and a realistic queueing regime (see DESIGN.md §3).
+DEFAULT_SCALES: dict[str, float] = {
+    "LPC-EGEE": 0.2,
+    "PIK-IPLEX": 0.012,
+    "SHARCNET-Whale": 0.008,
+    "RICC": 0.004,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of one Tables-1/2-style experiment."""
+
+    traces: tuple[str, ...] = ("LPC-EGEE",)
+    n_orgs: int = 5
+    duration: int = 5_000  #: the paper's D (5*10^4 / 5*10^5 full-size)
+    n_repeats: int = 5  #: the paper uses 100
+    scale: "float | None" = None  #: trace shrink; None = DEFAULT_SCALES
+    machine_dist: str = "zipf"  #: "zipf" or "uniform" (the paper runs both)
+    seed: int = 0
+    pool_factor: int = 4  #: long-trace length = pool_factor * duration
+    algorithms: AlgorithmFactory = field(default=default_algorithms)
+
+    def __post_init__(self) -> None:
+        if self.machine_dist not in ("zipf", "uniform"):
+            raise ValueError("machine_dist must be 'zipf' or 'uniform'")
+        if self.n_orgs < 1 or self.duration < 1 or self.n_repeats < 1:
+            raise ValueError("n_orgs, duration, n_repeats must be >= 1")
+
+    def scale_for(self, trace: str) -> float:
+        """The shrink factor for ``trace`` (explicit, or the tuned default)."""
+        if self.scale is not None:
+            return self.scale
+        return DEFAULT_SCALES.get(trace, 0.05)
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """Per-algorithm avg delay on one sampled window."""
+
+    trace: str
+    repeat: int
+    avg_delays: dict[str, float]
+    n_jobs: int
+    n_machines: int
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregated experiment outcome: (trace, algorithm) -> mean/std."""
+
+    config: ExperimentConfig
+    instances: tuple[InstanceResult, ...]
+
+    def algorithms(self) -> list[str]:
+        names: list[str] = []
+        for inst in self.instances:
+            for name in inst.avg_delays:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def mean_std(self, trace: str, algorithm: str) -> tuple[float, float]:
+        vals = [
+            inst.avg_delays[algorithm]
+            for inst in self.instances
+            if inst.trace == trace and algorithm in inst.avg_delays
+        ]
+        if not vals:
+            raise KeyError((trace, algorithm))
+        arr = np.asarray(vals)
+        return float(arr.mean()), float(arr.std())
+
+
+def sample_window(
+    trace: str, config: ExperimentConfig, rng: np.random.Generator
+):
+    """Steps 1-2 of the protocol: generate the long trace and pick the
+    sub-trace window.  Split out so sweeps (e.g. Figure 10's organization-
+    count sweep) can hold the window fixed while varying the assignment --
+    common-random-numbers variance reduction."""
+    long_horizon = config.duration * config.pool_factor
+    records, spec = make_trace(
+        trace, long_horizon, seed=rng, scale=config.scale_for(trace)
+    )
+    t_start = int(rng.integers(0, max(1, long_horizon - config.duration)))
+    return records, spec, t_start
+
+
+def assign_instance(
+    records,
+    spec,
+    t_start: int,
+    config: ExperimentConfig,
+    rng: np.random.Generator,
+) -> Workload:
+    """Steps 3-4 of the protocol: user->org and machine->org assignment."""
+    users = [r.user for r in records]
+    user_map = assign_users_to_orgs(users, config.n_orgs, rng)
+    if config.machine_dist == "zipf":
+        machines = zipf_machine_split(spec.n_machines, config.n_orgs)
+    else:
+        machines = uniform_machine_split(spec.n_machines, config.n_orgs)
+    full = build_workload(records, machines, user_map)
+    return full.window(t_start, t_start + config.duration)
+
+
+def sample_instance(
+    trace: str, config: ExperimentConfig, rng: np.random.Generator
+) -> Workload:
+    """Steps 1-4 of the protocol: one concrete fair-scheduling instance."""
+    records, spec, t_start = sample_window(trace, config, rng)
+    return assign_instance(records, spec, t_start, config, rng)
+
+
+def run_instance(
+    workload: Workload,
+    duration: int,
+    algorithms: Sequence[Scheduler],
+    reference: Scheduler | None = None,
+) -> dict[str, float]:
+    """Steps 5-6: every algorithm's Delta-psi / p_tot against REF."""
+    ref = reference or RefScheduler(horizon=duration)
+    ref_result = ref.run(workload)
+    out: dict[str, float] = {}
+    for alg in algorithms:
+        result = alg.run(workload)
+        out[alg.name] = avg_delay(result, ref_result, duration)
+    return out
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """The full protocol over every trace and repeat in ``config``."""
+    instances: list[InstanceResult] = []
+    for trace in config.traces:
+        for rep in range(config.n_repeats):
+            # zlib.crc32 (unlike hash()) is stable across processes, so
+            # experiments are reproducible bit-for-bit
+            rng = np.random.default_rng(
+                zlib.crc32(f"{trace}/{rep}/{config.seed}".encode())
+            )
+            workload = sample_instance(trace, config, rng)
+            algorithms = config.algorithms(
+                config.duration, int(rng.integers(0, 2**31 - 1))
+            )
+            delays = run_instance(workload, config.duration, algorithms)
+            instances.append(
+                InstanceResult(
+                    trace=trace,
+                    repeat=rep,
+                    avg_delays=delays,
+                    n_jobs=len(workload.jobs),
+                    n_machines=workload.n_machines,
+                )
+            )
+    return ExperimentResult(config=config, instances=tuple(instances))

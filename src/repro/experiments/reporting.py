@@ -1,0 +1,67 @@
+"""Paper-style ASCII rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .harness import ExperimentResult
+
+__all__ = ["render_table", "render_series", "format_cell"]
+
+
+def format_cell(mean: float, std: float) -> str:
+    """Render one (mean, std) cell the way the paper's tables read."""
+
+    def fmt(x: float) -> str:
+        if x == 0:
+            return "0"
+        if x < 0.1:
+            return f"{x:.3f}"
+        if x < 10:
+            return f"{x:.2f}"
+        return f"{x:.0f}"
+
+    return f"{fmt(mean)} ±{fmt(std)}"
+
+
+def render_table(
+    result: ExperimentResult, title: str = "avg delay (dpsi/p_tot)"
+) -> str:
+    """Render an :class:`ExperimentResult` as a Tables-1/2-style grid:
+    rows = algorithms, column pairs = traces (avg, std)."""
+    traces = list(result.config.traces)
+    algorithms = result.algorithms()
+    width = max([len(a) for a in algorithms] + [12])
+    cwidth = max(max(len(t) for t in traces) + 2, 16)
+    lines = [title]
+    header = " " * width + "".join(t.rjust(cwidth) for t in traces)
+    lines.append(header)
+    for alg in algorithms:
+        cells = []
+        for trace in traces:
+            mean, std = result.mean_std(trace, alg)
+            cells.append(format_cell(mean, std).rjust(cwidth))
+        lines.append(alg.ljust(width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str,
+    title: str,
+) -> str:
+    """Render a Figure-10-style family of curves as an aligned text table."""
+    width = max([len(name) for name in series] + [len(x_label), 12])
+    cwidth = 12
+    lines = [title]
+    lines.append(
+        x_label.ljust(width) + "".join(f"{x:>{cwidth}g}" for x in xs)
+    )
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+        lines.append(
+            name.ljust(width) + "".join(f"{y:>{cwidth}.3f}" for y in ys)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Model extensions the paper lists as future work (Section 8):
+
+* :mod:`repro.extensions.related` -- related (speed-scaled) machines;
+* :mod:`repro.extensions.rigid` -- rigid parallel jobs, including the
+  witness that greedy utilization guarantees do not carry over.
+"""
+
+from .related import RelatedEngine, RelatedStart, effective_duration, run_related
+from .rigid import (
+    RigidEngine,
+    RigidJob,
+    parallel_loss_witness,
+    rigid_fifo,
+    widest_fit,
+)
+
+__all__ = [
+    "RelatedEngine",
+    "RelatedStart",
+    "RigidEngine",
+    "RigidJob",
+    "effective_duration",
+    "parallel_loss_witness",
+    "rigid_fifo",
+    "run_related",
+    "widest_fit",
+]

@@ -1,0 +1,44 @@
+"""Cooperative-game machinery (paper Section 3): exact Shapley values,
+Monte-Carlo estimation with Hoeffding bounds (Theorem 5.6), and the
+scheduling game whose coalition values are schedule utilities.
+"""
+
+from .exact import (
+    check_additivity,
+    check_dummy,
+    check_efficiency,
+    check_symmetry,
+    shapley_by_permutations,
+    shapley_exact,
+    shapley_exact_scaled,
+)
+from .games import (
+    SchedulingGame,
+    TableGame,
+    unit_coalition_value,
+    unit_coalition_values,
+)
+from .sampling import (
+    SampledPrefixes,
+    hoeffding_samples,
+    sample_orderings,
+    shapley_sample,
+)
+
+__all__ = [
+    "SampledPrefixes",
+    "SchedulingGame",
+    "TableGame",
+    "check_additivity",
+    "check_dummy",
+    "check_efficiency",
+    "check_symmetry",
+    "hoeffding_samples",
+    "sample_orderings",
+    "shapley_by_permutations",
+    "shapley_exact",
+    "shapley_exact_scaled",
+    "shapley_sample",
+    "unit_coalition_value",
+    "unit_coalition_values",
+]

@@ -1,0 +1,209 @@
+"""Exact Shapley value computation (paper Section 3, Eqs. 1-2).
+
+The Shapley value is the unique division of a coalition's value satisfying
+the four fairness axioms (efficiency, symmetry, additivity, dummy).  Two
+equivalent formulas are implemented:
+
+* the **subset formula** (Eq. 1):
+  :math:`\\phi_u = \\sum_{C' \\subseteq C \\setminus \\{u\\}}
+  \\frac{|C'|!\\,(|C|-|C'|-1)!}{|C|!}\\,(v(C' \\cup \\{u\\}) - v(C'))`,
+* the **permutation formula** (Eq. 2): the expected marginal contribution of
+  ``u`` over a uniformly random joining order.
+
+Both use exact :class:`~fractions.Fraction` arithmetic (or scaled integers
+when the characteristic function is integer-valued), because the fair
+scheduler *compares* these values -- floating-point rounding could flip a
+scheduling decision.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations
+from math import factorial
+from typing import Callable, Mapping, Sequence
+
+from ..core.coalition import (
+    iter_members,
+    iter_subsets,
+    popcount,
+    scaled_shapley_weights,
+)
+
+__all__ = [
+    "shapley_exact",
+    "shapley_exact_scaled",
+    "shapley_by_permutations",
+    "check_efficiency",
+    "check_symmetry",
+    "check_dummy",
+    "check_additivity",
+]
+
+#: A characteristic function: coalition bitmask -> value.
+CharFn = Callable[[int], "int | float | Fraction"]
+
+
+def _as_charfn(v: "CharFn | Mapping[int, object]") -> CharFn:
+    if callable(v):
+        return v
+    table = dict(v)
+    return lambda mask: table[mask]
+
+
+def shapley_exact(
+    v: "CharFn | Mapping[int, object]", k: int, *, grand: int | None = None
+) -> list[Fraction]:
+    """Shapley values of all ``k`` players by the subset formula (Eq. 1).
+
+    Parameters
+    ----------
+    v:
+        Characteristic function over bitmask coalitions (callable or dict).
+        Must be defined on every submask of ``grand``; ``v(0)`` is the empty
+        coalition (conventionally 0 -- not enforced, the Shapley formula
+        handles any normalization).
+    k:
+        Number of players.
+    grand:
+        Coalition to divide (default: the grand coalition of all k players).
+        Players outside ``grand`` receive 0.
+
+    Complexity: O(2^k * k) value queries -- use only for small k (the paper's
+    experiments use k <= 10); this exactness is what makes REF a *benchmark*.
+    """
+    vf = _as_charfn(v)
+    g = (1 << k) - 1 if grand is None else grand
+    n = popcount(g)
+    phi = [Fraction(0)] * k
+    if n == 0:
+        return phi
+    denom = factorial(n)
+    weights = scaled_shapley_weights(n)
+    # iterate subsets of g containing each player once: for every nonempty
+    # subset S and every u in S, add w(|S|) * (v(S) - v(S \ {u})).
+    for sub in iter_subsets(g):
+        if sub == 0:
+            continue
+        s = popcount(sub)
+        w = weights[s]
+        v_sub = vf(sub)
+        for u in iter_members(sub):
+            phi[u] += Fraction(w) * (Fraction(v_sub) - Fraction(vf(sub ^ (1 << u))))
+    return [p / denom for p in phi]
+
+
+def shapley_exact_scaled(
+    v: "CharFn | Mapping[int, int]", k: int, *, grand: int | None = None
+) -> tuple[list[int], int]:
+    """Integer-scaled Shapley values: returns ``(phi_scaled, denom)`` with
+    ``phi[u] = phi_scaled[u] / denom`` and ``denom = |grand|!``.
+
+    Requires an integer-valued characteristic function; this is the exact
+    arithmetic used inside REF's ``UpdateVals``.
+    """
+    vf = _as_charfn(v)
+    g = (1 << k) - 1 if grand is None else grand
+    n = popcount(g)
+    phi = [0] * k
+    if n == 0:
+        return phi, 1
+    weights = scaled_shapley_weights(n)
+    for sub in iter_subsets(g):
+        if sub == 0:
+            continue
+        w = weights[popcount(sub)]
+        v_sub = vf(sub)
+        for u in iter_members(sub):
+            phi[u] += w * (v_sub - vf(sub ^ (1 << u)))
+    return phi, factorial(n)
+
+
+def shapley_by_permutations(
+    v: "CharFn | Mapping[int, object]", k: int, *, grand: int | None = None
+) -> list[Fraction]:
+    """Shapley values by brute-force enumeration of joining orders (Eq. 2).
+
+    O(k! * k) -- only for tiny ``k``; exists to cross-validate the subset
+    formula in tests.
+    """
+    vf = _as_charfn(v)
+    g = (1 << k) - 1 if grand is None else grand
+    players = list(iter_members(g))
+    n = len(players)
+    phi = [Fraction(0)] * k
+    if n == 0:
+        return phi
+    for order in permutations(players):
+        mask = 0
+        for u in order:
+            before = vf(mask)
+            mask |= 1 << u
+            phi[u] += Fraction(vf(mask)) - Fraction(before)
+    n_orders = factorial(n)
+    return [p / n_orders for p in phi]
+
+
+# ----------------------------------------------------------------------
+# Axiom verifiers (used by tests and by the shapley_playground example)
+# ----------------------------------------------------------------------
+def check_efficiency(
+    v: "CharFn | Mapping[int, object]", phi: Sequence[Fraction], grand: int
+) -> bool:
+    """Axiom: the shares of the grand coalition's members sum to its value."""
+    vf = _as_charfn(v)
+    total = sum((phi[u] for u in iter_members(grand)), Fraction(0))
+    return total == Fraction(vf(grand))
+
+
+def check_symmetry(
+    v: "CharFn | Mapping[int, object]",
+    phi: Sequence[Fraction],
+    grand: int,
+    u1: int,
+    u2: int,
+) -> bool:
+    """Axiom: players with identical marginal contributions to every
+    coalition (not containing either) get equal shares.
+
+    Returns True when the premise fails (vacuous) or shares are equal.
+    """
+    vf = _as_charfn(v)
+    rest = grand & ~(1 << u1) & ~(1 << u2)
+    for sub in iter_subsets(rest):
+        if Fraction(vf(sub | (1 << u1))) != Fraction(vf(sub | (1 << u2))):
+            return True  # premise violated; axiom says nothing
+    return phi[u1] == phi[u2]
+
+
+def check_dummy(
+    v: "CharFn | Mapping[int, object]",
+    phi: Sequence[Fraction],
+    grand: int,
+    u: int,
+) -> bool:
+    """Axiom: a player adding nothing to any coalition receives 0.
+
+    Returns True when the premise fails or the share is 0.
+    """
+    vf = _as_charfn(v)
+    rest = grand & ~(1 << u)
+    for sub in iter_subsets(rest):
+        if Fraction(vf(sub | (1 << u))) != Fraction(vf(sub)):
+            return True
+    return phi[u] == 0
+
+
+def check_additivity(
+    v: "CharFn | Mapping[int, object]",
+    w: "CharFn | Mapping[int, object]",
+    k: int,
+    grand: int,
+) -> bool:
+    """Axiom: phi(v + w) = phi(v) + phi(w) player-wise."""
+    vf, wf = _as_charfn(v), _as_charfn(w)
+    combined = lambda mask: Fraction(vf(mask)) + Fraction(wf(mask))  # noqa: E731
+    phi_v = shapley_exact(vf, k, grand=grand)
+    phi_w = shapley_exact(wf, k, grand=grand)
+    phi_vw = shapley_exact(combined, k, grand=grand)
+    return all(phi_vw[u] == phi_v[u] + phi_w[u] for u in range(k))

@@ -1,0 +1,141 @@
+"""Monte-Carlo Shapley estimation (paper Section 5.1, Algorithm RAND's core).
+
+The scheduling game is **not** supermodular (Prop. 5.5), so the
+Liben-Nowell et al. supermodular-game sampler does not apply directly; the
+paper instead samples N uniformly random joining orders and uses Hoeffding's
+inequality to bound the estimation error of the mean marginal contribution
+(Theorem 5.6):
+
+.. math::
+
+    N \\;=\\; \\Big\\lceil \\frac{k^2}{\\epsilon^2}
+             \\ln\\frac{k}{1-\\lambda} \\Big\\rceil
+
+guarantees, with probability :math:`\\lambda`, that every player's estimate
+is within :math:`\\frac{\\epsilon}{k} v^*(C)` of its Shapley value, hence the
+utility vector is within :math:`\\epsilon\\,v^*` in the Manhattan norm.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "hoeffding_samples",
+    "sample_orderings",
+    "shapley_sample",
+    "SampledPrefixes",
+]
+
+CharFn = Callable[[int], "int | float | Fraction"]
+
+
+def hoeffding_samples(k: int, epsilon: float, lam: float) -> int:
+    """Sample count N of Theorem 5.6: ``ceil(k^2/eps^2 * ln(k/(1-lambda)))``.
+
+    Parameters
+    ----------
+    k:
+        Number of players (organizations).
+    epsilon:
+        Target relative Manhattan-norm error (fraction of the coalition
+        value).
+    lam:
+        Success probability (the paper's lambda).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not 0 < epsilon:
+        raise ValueError("epsilon must be positive")
+    if not 0 < lam < 1:
+        raise ValueError("lambda must be in (0, 1)")
+    return math.ceil(k * k / (epsilon * epsilon) * math.log(k / (1.0 - lam)))
+
+
+def sample_orderings(
+    k: int, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` independent uniform permutations of ``0..k-1`` (with
+    replacement), as an ``(n, k)`` integer array."""
+    if n < 1:
+        raise ValueError("need at least one ordering")
+    return np.array([rng.permutation(k) for _ in range(n)], dtype=np.int64)
+
+
+class SampledPrefixes:
+    """The coalition structure RAND maintains (paper Fig. 6, ``Prepare``).
+
+    For each sampled ordering and each player ``u``, record the pair
+    ``(pred_mask, pred_mask | {u})`` -- the coalitions whose value difference
+    is one sample of ``u``'s marginal contribution.  ``masks`` is the
+    de-duplicated set of all coalitions whose values must be tracked
+    (``Subs`` and ``Subs'`` in the paper's notation).
+    """
+
+    def __init__(self, k: int, orderings: np.ndarray):
+        if orderings.ndim != 2 or orderings.shape[1] != k:
+            raise ValueError("orderings must be an (n, k) array")
+        self.k = k
+        self.n = int(orderings.shape[0])
+        pairs: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+        masks: set[int] = {0}
+        for row in orderings:
+            mask = 0
+            for u in map(int, row):
+                with_u = mask | (1 << u)
+                pairs[u].append((mask, with_u))
+                masks.add(mask)
+                masks.add(with_u)
+                mask = with_u
+        self.pairs: tuple[tuple[tuple[int, int], ...], ...] = tuple(
+            tuple(p) for p in pairs
+        )
+        self.masks: frozenset[int] = frozenset(masks)
+
+    def estimate_scaled(self, values: Mapping[int, int]) -> list[int]:
+        """Sum of sampled marginal contributions per player (= N * phi-hat).
+
+        With integer coalition values this is exact; divide by ``self.n``
+        for the estimate itself.  RAND compares ``N*phi - N*psi`` so the
+        division never happens.
+        """
+        out = [0] * self.k
+        for u in range(self.k):
+            acc = 0
+            for pred, with_u in self.pairs[u]:
+                acc += values[with_u] - values[pred]
+            out[u] = acc
+        return out
+
+    def estimate(self, values: Mapping[int, "int | float"]) -> list[float]:
+        """Mean sampled marginal contribution per player (phi-hat)."""
+        return [s / self.n for s in self.estimate_scaled(values)]
+
+
+def shapley_sample(
+    v: "CharFn | Mapping[int, object]",
+    k: int,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> list[float]:
+    """Monte-Carlo Shapley estimate from ``n_samples`` random orderings.
+
+    Standalone estimator (the in-scheduler version shares coalition engines
+    across time; see :class:`repro.algorithms.rand.RandScheduler`).
+    """
+    vf = v if callable(v) else (lambda mask, _tbl=dict(v): _tbl[mask])
+    orderings = sample_orderings(k, n_samples, rng)
+    phi = [0.0] * k
+    for row in orderings:
+        mask = 0
+        prev = float(vf(0))
+        for u in map(int, row):
+            mask |= 1 << u
+            cur = float(vf(mask))
+            phi[u] += cur - prev
+            prev = cur
+    return [p / n_samples for p in phi]

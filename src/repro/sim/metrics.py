@@ -1,0 +1,83 @@
+"""Fairness and efficiency metrics (paper Section 7.2).
+
+The paper's headline unfairness measure compares an algorithm's utility
+vector :math:`\\vec\\psi` at the experiment end time against the reference
+fair vector :math:`\\vec\\psi^*` produced by REF:
+
+.. math::
+
+    \\Delta\\psi / p_{tot}, \\qquad
+    \\Delta\\psi = \\lVert \\vec\\psi - \\vec\\psi^* \\rVert_M, \\quad
+    p_{tot} = \\sum_{(s,p) \\in \\sigma^*: s \\le t_{end}}
+              \\min(p,\\, t_{end} - s)
+
+where :math:`p_{tot}` counts unit-size job parts completed in the fair
+schedule.  Delaying one unit part by one time moment costs its owner exactly
+one utility point, so :math:`\\Delta\\psi / p_{tot}` reads as the **average
+unjustified delay (or speed-up) per job unit** caused by unfairness.
+
+(The paper's text writes :math:`\\Delta\\psi` without absolute values; we use
+the Manhattan norm -- consistent with Definition 3.1 -- and also expose the
+signed sum.  See DESIGN.md §5.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..algorithms.base import SchedulerResult
+
+__all__ = [
+    "manhattan",
+    "signed_gap",
+    "unfairness",
+    "avg_delay",
+    "utilization_ratio",
+]
+
+
+def manhattan(a: Sequence[float], b: Sequence[float]) -> float:
+    """Manhattan distance between two utility vectors (Definition 3.1)."""
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    return float(np.abs(np.asarray(a, dtype=float) - np.asarray(b, dtype=float)).sum())
+
+
+def signed_gap(a: Sequence[float], b: Sequence[float]) -> float:
+    """Signed sum ``sum(a_u - b_u)`` (the paper's literal Delta-psi text)."""
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    return float(np.asarray(a, dtype=float).sum() - np.asarray(b, dtype=float).sum())
+
+
+def unfairness(
+    result: SchedulerResult, reference: SchedulerResult, t: int
+) -> float:
+    """:math:`\\Delta\\psi = \\lVert \\vec\\psi - \\vec\\psi^* \\rVert_M` at ``t``."""
+    return manhattan(result.utilities(t), reference.utilities(t))
+
+
+def avg_delay(
+    result: SchedulerResult, reference: SchedulerResult, t: int
+) -> float:
+    """The paper's :math:`\\Delta\\psi / p_{tot}`: average unjustified delay
+    (in time units) per unit of completed work, relative to the fair
+    reference schedule at time ``t``.
+    """
+    ptot = reference.completed_units(t)
+    if ptot == 0:
+        return 0.0
+    return unfairness(result, reference, t) / ptot
+
+
+def utilization_ratio(
+    result: SchedulerResult, reference: SchedulerResult, t: int
+) -> float:
+    """Completed-work ratio result/reference at ``t`` (Section 6's
+    competitive-utilization comparison; >= 3/4 for greedy vs optimal)."""
+    ref_units = reference.completed_units(t)
+    if ref_units == 0:
+        return 1.0
+    return result.completed_units(t) / ref_units

@@ -1,0 +1,96 @@
+"""Convenience runners: execute one or many schedulers on one workload.
+
+These wrap the :class:`~repro.algorithms.base.Scheduler` API for the common
+experiment shapes: run an algorithm portfolio against the REF reference and
+compute the paper's fairness metric for each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..algorithms.base import Scheduler, SchedulerResult
+from ..core.workload import Workload
+from .metrics import avg_delay, unfairness
+
+__all__ = ["run_schedule", "compare_algorithms", "Comparison", "AlgorithmOutcome"]
+
+
+def run_schedule(
+    scheduler: Scheduler,
+    workload: Workload,
+    members: Iterable[int] | None = None,
+) -> SchedulerResult:
+    """Run one scheduler (alias for ``scheduler.run`` with a stable name)."""
+    return scheduler.run(workload, members)
+
+
+@dataclass(frozen=True)
+class AlgorithmOutcome:
+    """One algorithm's result within a comparison."""
+
+    algorithm: str
+    result: SchedulerResult
+    delta_psi: float
+    avg_delay: float
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A portfolio of algorithms evaluated against a fair reference."""
+
+    workload: Workload
+    t_end: int
+    reference: SchedulerResult
+    outcomes: tuple[AlgorithmOutcome, ...]
+
+    def by_name(self, name: str) -> AlgorithmOutcome:
+        for o in self.outcomes:
+            if o.algorithm == name:
+                return o
+        raise KeyError(name)
+
+    def ranking(self) -> list[str]:
+        """Algorithm names sorted from most to least fair."""
+        return [
+            o.algorithm
+            for o in sorted(self.outcomes, key=lambda o: o.avg_delay)
+        ]
+
+
+def compare_algorithms(
+    algorithms: Sequence[Scheduler],
+    reference: Scheduler,
+    workload: Workload,
+    t_end: int,
+    members: Iterable[int] | None = None,
+) -> Comparison:
+    """Run ``algorithms`` and ``reference`` on ``workload``; score fairness.
+
+    This is one cell of the paper's Tables 1-2: every algorithm's
+    :math:`\\Delta\\psi / p_{tot}` against the REF schedule at ``t_end``.
+    """
+    ref_result = reference.run(workload, members)
+    outcomes = []
+    for alg in algorithms:
+        started = time.perf_counter()
+        result = alg.run(workload, members)
+        elapsed = time.perf_counter() - started
+        outcomes.append(
+            AlgorithmOutcome(
+                algorithm=alg.name,
+                result=result,
+                delta_psi=unfairness(result, ref_result, t_end),
+                avg_delay=avg_delay(result, ref_result, t_end),
+                wall_time_s=elapsed,
+            )
+        )
+    return Comparison(
+        workload=workload,
+        t_end=t_end,
+        reference=ref_result,
+        outcomes=tuple(outcomes),
+    )

@@ -1,0 +1,53 @@
+"""Utility functions (paper Section 4): the strategy-proof utility
+:math:`\\psi_{sp}`, the general anonymous family of Theorem 4.1, classic
+scheduling metrics, and executable axiom checkers.
+"""
+
+from .axioms import (
+    apply_delay,
+    apply_merge,
+    apply_split,
+    check_merge_split_invariance,
+    check_start_time_anonymity,
+    check_task_count_anonymity,
+    delay_never_profitable,
+)
+from .base import Pairs, UtilityFunction
+from .classic import (
+    CompletedCountUtility,
+    CompletedWorkUtility,
+    FlowTimeUtility,
+    MakespanUtility,
+    flow_time,
+    turnaround_times,
+)
+from .strategyproof import (
+    GeneralAnonymousUtility,
+    StrategyProofUtility,
+    psi_sp,
+    psi_sp_vector,
+    unit_value,
+)
+
+__all__ = [
+    "CompletedCountUtility",
+    "CompletedWorkUtility",
+    "FlowTimeUtility",
+    "GeneralAnonymousUtility",
+    "MakespanUtility",
+    "Pairs",
+    "StrategyProofUtility",
+    "UtilityFunction",
+    "apply_delay",
+    "apply_merge",
+    "apply_split",
+    "check_merge_split_invariance",
+    "check_start_time_anonymity",
+    "check_task_count_anonymity",
+    "delay_never_profitable",
+    "flow_time",
+    "psi_sp",
+    "psi_sp_vector",
+    "turnaround_times",
+    "unit_value",
+]

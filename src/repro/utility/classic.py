@@ -1,0 +1,132 @@
+"""Classic scheduling utilities/metrics (flow time, turnaround, makespan...).
+
+These are the standard objectives the paper discusses and rejects for the
+fair-scheduling game (Section 4): each of them violates at least one of the
+three axioms, creating incentives for workload manipulation.  They remain
+useful (a) as utilities for the *general* REF algorithm (Fig. 1 works with
+an arbitrary utility), and (b) in the tests and examples demonstrating the
+manipulations.
+
+All of these are evaluated non-clairvoyantly at a time ``t``: only job parts
+executed before ``t`` are visible.  Release times are *not* part of the
+``(start, size)`` schedule pairs, so flow-time-like metrics here take an
+optional release lookup; the convenience wrappers in
+:mod:`repro.sim.metrics` bind releases from a workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .base import Pairs, UtilityFunction
+
+__all__ = [
+    "CompletedCountUtility",
+    "CompletedWorkUtility",
+    "MakespanUtility",
+    "FlowTimeUtility",
+    "flow_time",
+    "turnaround_times",
+]
+
+
+class CompletedCountUtility(UtilityFunction):
+    """Number of jobs fully completed by ``t``.
+
+    Violates *task anonymity (starting times)*: moving a completed job
+    earlier does not change the count, so the delay-penalty axiom fails.
+    Violates strategy-resistance: splitting a job into unit pieces inflates
+    the count.
+    """
+
+    maximize = True
+    name = "completed_jobs"
+
+    def value(self, pairs: Pairs, t: int) -> int:
+        return sum(1 for s, p in pairs if s + p <= t)
+
+
+class CompletedWorkUtility(UtilityFunction):
+    """Unit-size job parts executed before ``t`` (the throughput numerator).
+
+    This is the Section 6 resource-usage count for one organization.  It is
+    merge/split-proof but not delay-penalizing (violates axiom 1: a unit is
+    worth the same no matter when it ran).
+    """
+
+    maximize = True
+    name = "completed_work"
+
+    def value(self, pairs: Pairs, t: int) -> int:
+        return sum(min(p, max(0, t - s)) for s, p in pairs)
+
+
+class MakespanUtility(UtilityFunction):
+    """Negated completion time of the organization's last finished job.
+
+    A minimization metric expressed as a (to-maximize) negative value.
+    Violates both anonymity axioms (only the last job matters).
+    """
+
+    maximize = True
+    name = "neg_makespan"
+
+    def value(self, pairs: Pairs, t: int) -> int:
+        done = [s + p for s, p in pairs if s + p <= t]
+        return -max(done, default=0)
+
+
+class FlowTimeUtility(UtilityFunction):
+    """Negated total flow time of jobs completed by ``t``.
+
+    The paper's Section 4 discussion: flow time (i) improves when jobs are
+    simply *not* scheduled (violates task anonymity / number of tasks) and
+    (ii) favors short tasks, rewarding job splitting (violates
+    strategy-resistance).  Prop. 4.2 shows it coincides with
+    :math:`\\psi_{sp}` only for equal-size, all-completed job sets.
+
+    Because flow time needs release times and schedule pairs carry none,
+    construct with a ``release_of(start, size) -> release`` callable or pass
+    ``releases`` aligned with the pairs at call time via
+    :func:`flow_time`.  The default assumes release 0 for every job (pure
+    completion-time sum), which is the common benchmark situation in the
+    paper's examples (e.g. Fig. 2 where all releases are 0).
+    """
+
+    maximize = True
+    name = "neg_flow_time"
+
+    def __init__(self, release_of: Callable[[int, int], int] | None = None):
+        self.release_of = release_of or (lambda s, p: 0)
+
+    def value(self, pairs: Pairs, t: int) -> int:
+        total = 0
+        for s, p in pairs:
+            if s + p <= t:
+                total += (s + p) - self.release_of(s, p)
+        return -total
+
+
+def flow_time(
+    pairs: Pairs, releases: Sequence[int], t: int | None = None
+) -> int:
+    """Total flow time ``sum (completion - release)`` of completed jobs.
+
+    ``releases[i]`` is the release time of ``pairs[i]``.  Jobs not completed
+    by ``t`` are excluded (classic definition over finished jobs).
+    """
+    if len(releases) != len(pairs):
+        raise ValueError("releases must align with pairs")
+    total = 0
+    for (s, p), r in zip(pairs, releases):
+        end = s + p
+        if t is None or end <= t:
+            total += end - r
+    return total
+
+
+def turnaround_times(pairs: Pairs, releases: Sequence[int]) -> list[int]:
+    """Per-job turnaround (= flow) times, aligned with the input order."""
+    if len(releases) != len(pairs):
+        raise ValueError("releases must align with pairs")
+    return [(s + p) - r for (s, p), r in zip(pairs, releases)]

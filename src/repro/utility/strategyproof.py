@@ -1,0 +1,153 @@
+"""The strategy-proof utility function (paper Section 4, Theorem 4.1, Eq. 3).
+
+Theorem 4.1: a utility satisfying *task anonymity (starting times)*, *task
+anonymity (number of tasks)* and *strategy-resistance* must have the form
+
+.. math::
+
+    \\psi(\\sigma, t) = \\sum_{(s,p) \\in \\sigma_t} \\min(p, t-s)
+        \\Big(K_1 - K_2 \\frac{s + \\min(s+p-1,\\, t-1)}{2}\\Big) + K_3
+
+with constants :math:`K_1, K_2 > 0` and :math:`K_3 = \\psi(\\emptyset)` --
+unique up to those constants.  The paper's canonical instance (Eq. 3),
+
+.. math::
+
+    \\psi_{sp}(\\sigma, t) = \\sum_{(s,p):\\, s \\le t} \\min(p, t-s)
+        \\Big(t - \\frac{s + \\min(s+p-1,\\, t-1)}{2}\\Big),
+
+is the member with :math:`K_1 = t` (value of a unit executed in slot 0),
+:math:`K_2 = 1` (per-slot delay penalty of one unit) and :math:`K_3 = 0`.
+(The paper's prose says "K1 = 1, K2 = t"; substituting those into the
+Theorem 4.1 form does not give Eq. 3 -- the roles are swapped there.  We
+implement Eq. 3 itself, whose worked example (Fig. 2) our tests match
+exactly.)
+
+Interpretation: *task throughput* -- every executed unit-size part of a job,
+run in time slot ``ts``, is worth ``t - ts`` at evaluation time ``t``.
+
+With integer times :math:`\\psi_{sp}` is always an integer:
+``sum_{i=0}^{c-1} (t - s - i) = c*(t-s) - c*(c-1)/2`` for
+``c = min(p, t-s)`` executed units.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from .base import Pairs, UtilityFunction
+
+__all__ = [
+    "StrategyProofUtility",
+    "GeneralAnonymousUtility",
+    "psi_sp",
+    "psi_sp_vector",
+    "unit_value",
+]
+
+
+def unit_value(slot: int, t: int) -> int:
+    """Value at time ``t`` of one unit-size job part executed in ``slot``.
+
+    The paper's interpretation of Eq. 3: a unit run during ``[slot, slot+1)``
+    is worth ``t - slot`` at any ``t > slot`` and nothing before.
+    """
+    return max(0, t - slot)
+
+
+def psi_sp(pairs: Pairs, t: int) -> int:
+    """:math:`\\psi_{sp}(\\sigma, t)` (paper Eq. 3), exact integer arithmetic.
+
+    Parameters
+    ----------
+    pairs:
+        ``(start, size)`` pairs of one organization's started jobs.
+    t:
+        Evaluation time.
+    """
+    total = 0
+    for s, p in pairs:
+        c = t - s
+        if c <= 0:
+            continue
+        if c > p:
+            c = p
+        total += c * (t - s) - c * (c - 1) // 2
+    return total
+
+
+def psi_sp_vector(starts: np.ndarray, sizes: np.ndarray, t: int) -> int:
+    """Vectorized :func:`psi_sp` over numpy arrays of starts/sizes.
+
+    Used when re-evaluating long schedules at many horizons (the per-event
+    incremental aggregates in the engine are faster during simulation; this
+    is the batch form).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    c = np.clip(t - starts, 0, sizes)
+    return int(np.sum(c * (t - starts) - c * (c - 1) // 2))
+
+
+class StrategyProofUtility(UtilityFunction):
+    """The canonical strategy-proof utility (Eq. 3)."""
+
+    maximize = True
+    name = "psi_sp"
+
+    def value(self, pairs: Pairs, t: int) -> int:
+        return psi_sp(pairs, t)
+
+    def job_value(self, start: int, size: int, t: int) -> int:
+        """Contribution of a single job to :math:`\\psi_{sp}` at ``t``."""
+        return psi_sp([(start, size)], t)
+
+
+class GeneralAnonymousUtility(UtilityFunction):
+    """The full (K1, K2, K3) family of Theorem 4.1 (exact rationals).
+
+    Parameters
+    ----------
+    k1:
+        Value of one unit executed in slot 0; must be positive.  Pass the
+        literal string ``"t"`` for the canonical time-dependent choice, in
+        which case (with ``k2=1, k3=0``) the value equals :func:`psi_sp`.
+    k2:
+        Per-slot delay penalty of one unit; must be positive.
+    k3:
+        Utility of the empty schedule, :math:`\\psi(\\emptyset)`.
+    """
+
+    maximize = True
+
+    def __init__(
+        self,
+        k1: "int | Fraction | str" = "t",
+        k2: "int | Fraction" = 1,
+        k3: "int | Fraction" = 0,
+    ) -> None:
+        if k1 != "t" and Fraction(k1) <= 0:
+            raise ValueError("Theorem 4.1 requires K1 > 0")
+        if Fraction(k2) <= 0:
+            raise ValueError("Theorem 4.1 requires K2 > 0")
+        self.k1 = k1 if k1 == "t" else Fraction(k1)
+        self.k2 = Fraction(k2)
+        self.k3 = Fraction(k3)
+        self.name = f"psi(K1={k1},K2={k2},K3={k3})"
+
+    def value(self, pairs: Pairs, t: int) -> Fraction:
+        k1 = Fraction(t) if self.k1 == "t" else self.k1
+        total = Fraction(0)
+        for s, p in pairs:
+            c = min(p, t - s)
+            if c <= 0:
+                continue
+            mid = Fraction(s + min(s + p - 1, t - 1), 2)
+            total += c * (k1 - self.k2 * mid)
+        return total + self.k3
+
+    def as_canonical(self) -> StrategyProofUtility:
+        """The canonical member of the family (Eq. 3)."""
+        return StrategyProofUtility()

@@ -1,0 +1,45 @@
+"""Workload substrate: SWF parsing, synthetic trace generation, the four
+paper-trace stand-ins, and the paper's preprocessing transforms."""
+
+from .swf import SwfJob, SwfTrace, load_swf, parse_swf, write_swf
+from .synthetic import SyntheticSpec, generate_jobs
+from .traces import (
+    PAPER_TRACES,
+    TRACE_PROFILES,
+    TraceProfile,
+    lpc_egee,
+    make_trace,
+    pik_iplex,
+    ricc,
+    sharcnet_whale,
+)
+from .transforms import (
+    assign_users_to_orgs,
+    build_workload,
+    parallel_to_sequential,
+    uniform_machine_split,
+    zipf_machine_split,
+)
+
+__all__ = [
+    "PAPER_TRACES",
+    "SwfJob",
+    "SwfTrace",
+    "SyntheticSpec",
+    "TraceProfile",
+    "TRACE_PROFILES",
+    "assign_users_to_orgs",
+    "build_workload",
+    "generate_jobs",
+    "load_swf",
+    "lpc_egee",
+    "make_trace",
+    "parallel_to_sequential",
+    "parse_swf",
+    "pik_iplex",
+    "ricc",
+    "sharcnet_whale",
+    "uniform_machine_split",
+    "write_swf",
+    "zipf_machine_split",
+]

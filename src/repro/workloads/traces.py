@@ -1,0 +1,210 @@
+"""Synthetic stand-ins for the paper's four Parallel Workloads Archive traces.
+
+Section 7.2 evaluates on LPC-EGEE (cleaned), PIK-IPLEX, RICC and
+SHARCNET-Whale.  The archive files cannot ship with this repository, so each
+trace gets a :class:`TraceProfile` capturing the published characteristics
+that matter for the paper's comparisons:
+
+===============  ========  ======  ===========================
+trace            procs     users    character
+===============  ========  ======  ===========================
+LPC-EGEE             70        56  small cluster, bursty bag-of-tasks load
+PIK-IPLEX          2560       225  large, lightly loaded (tiny unfairness)
+RICC               8192       176  large, heavily loaded, long jobs
+SHARCNET-Whale     3072       154  large, moderate load
+===============  ========  ======  ===========================
+
+The **relative** results the paper reports (RICC exhibiting the largest
+unfairness, PIK-IPLEX the smallest, the algorithm ranking itself) are driven
+by load factor, job-length scale and per-user burstiness, which the profiles
+reproduce.  Absolute delays differ from the paper's -- see EXPERIMENTS.md.
+
+``scale`` shrinks machine counts, user counts and job sizes proportionally
+for laptop-size benchmark runs (the experiment harness additionally shortens
+horizons); ``scale=1.0`` generates full-size traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .swf import SwfJob
+from .synthetic import SyntheticSpec, generate_jobs
+
+__all__ = [
+    "TraceProfile",
+    "TRACE_PROFILES",
+    "PAPER_TRACES",
+    "make_trace",
+    "lpc_egee",
+    "pik_iplex",
+    "ricc",
+    "sharcnet_whale",
+]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Generation profile of one archive-trace stand-in."""
+
+    name: str
+    n_machines: int
+    n_users: int
+    load: float
+    size_mu: float
+    size_sigma: float
+    max_size: int
+    session_jobs_mean: float
+    session_gap_mean: float
+    diurnal_amplitude: float = 0.5
+    parallel_prob: float = 0.05
+    parallel_max: int = 4
+
+    def spec(self, horizon: int, scale: float = 1.0) -> SyntheticSpec:
+        """Concrete generator parameters at a given horizon and scale.
+
+        Scaling keeps the *load factor* (the fairness-relevant quantity)
+        fixed while shrinking machines, users and job sizes, so scaled runs
+        reproduce the full-size qualitative behaviour.
+        """
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        machines = max(3, int(round(self.n_machines * scale)))
+        users = max(4, int(round(self.n_users * scale)))
+        # Shrink job sizes faster than machine counts (scale^0.7) so scaled
+        # traces keep enough jobs for the arrival process to stay mixed --
+        # otherwise a handful of giant jobs makes tiny instances degenerate.
+        shrink = float(scale**0.7)
+        # Parallel widths must shrink with the pool: a job as wide as the
+        # whole scaled cluster would be a single-instant capacity spike the
+        # full-size trace never exhibits.
+        parallel_cap = max(2, min(self.parallel_max, machines // 6))
+        return SyntheticSpec(
+            n_machines=machines,
+            n_users=users,
+            horizon=horizon,
+            load=self.load,
+            size_mu=self.size_mu + np.log(shrink),
+            size_sigma=self.size_sigma,
+            max_size=max(4, int(self.max_size * shrink)),
+            session_jobs_mean=self.session_jobs_mean,
+            session_gap_mean=self.session_gap_mean,
+            diurnal_amplitude=self.diurnal_amplitude,
+            day_length=max(64, int(86_400 * scale)),
+            parallel_prob=self.parallel_prob if parallel_cap > 2 else 0.0,
+            parallel_max=parallel_cap,
+        )
+
+
+#: Profiles mimicking the published summary statistics of the four traces.
+#: Loads are set at the high-contention end of what the archive traces show
+#: during busy periods -- batch systems run with standing queues, which is
+#: precisely the regime where scheduling *choices* exist and fairness
+#: differences are measurable (at low load every greedy schedule coincides).
+TRACE_PROFILES: dict[str, TraceProfile] = {
+    "LPC-EGEE": TraceProfile(
+        name="LPC-EGEE",
+        n_machines=70,
+        n_users=56,
+        load=0.85,
+        size_mu=5.3,  # short bag-of-tasks grid jobs (~minutes-hours)
+        size_sigma=1.4,
+        max_size=20_000,
+        session_jobs_mean=25.0,  # large bag-of-task campaigns
+        session_gap_mean=5.0,
+        diurnal_amplitude=0.7,
+        parallel_prob=0.0,  # LPC-EGEE is almost purely sequential
+    ),
+    "PIK-IPLEX": TraceProfile(
+        name="PIK-IPLEX",
+        n_machines=2560,
+        n_users=225,
+        load=0.35,  # lightly loaded -> rare queueing -> tiny unfairness
+        size_mu=6.0,
+        size_sigma=1.8,
+        max_size=50_000,
+        session_jobs_mean=6.0,
+        session_gap_mean=60.0,
+        diurnal_amplitude=0.4,
+        parallel_prob=0.25,
+        parallel_max=64,
+    ),
+    "RICC": TraceProfile(
+        name="RICC",
+        n_machines=8192,
+        n_users=176,
+        load=1.05,  # oversubscribed batch queues -> largest unfairness
+        size_mu=7.2,
+        size_sigma=1.8,
+        max_size=100_000,
+        session_jobs_mean=40.0,
+        session_gap_mean=10.0,
+        diurnal_amplitude=0.5,
+        parallel_prob=0.30,
+        parallel_max=128,
+    ),
+    "SHARCNET-Whale": TraceProfile(
+        name="SHARCNET-Whale",
+        n_machines=3072,
+        n_users=154,
+        load=0.75,
+        size_mu=6.4,
+        size_sigma=1.6,
+        max_size=80_000,
+        session_jobs_mean=15.0,
+        session_gap_mean=20.0,
+        diurnal_amplitude=0.5,
+        parallel_prob=0.20,
+        parallel_max=48,
+    ),
+}
+
+#: The paper's trace ordering (column order of Tables 1-2).
+PAPER_TRACES: tuple[str, ...] = (
+    "LPC-EGEE",
+    "PIK-IPLEX",
+    "SHARCNET-Whale",
+    "RICC",
+)
+
+
+def make_trace(
+    name: str,
+    horizon: int,
+    seed: "int | np.random.Generator" = 0,
+    scale: float = 1.0,
+) -> tuple[list[SwfJob], SyntheticSpec]:
+    """Generate the stand-in trace ``name`` over ``horizon`` time units.
+
+    Returns the SWF-style job records and the concrete generator spec (the
+    spec's ``n_machines`` is what experiments should provision).
+    """
+    if name not in TRACE_PROFILES:
+        raise KeyError(
+            f"unknown trace {name!r}; available: {sorted(TRACE_PROFILES)}"
+        )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    spec = TRACE_PROFILES[name].spec(horizon, scale)
+    return generate_jobs(spec, rng), spec
+
+
+def lpc_egee(horizon: int, seed=0, scale: float = 1.0):
+    """Shorthand for ``make_trace("LPC-EGEE", ...)``."""
+    return make_trace("LPC-EGEE", horizon, seed, scale)
+
+
+def pik_iplex(horizon: int, seed=0, scale: float = 1.0):
+    """Shorthand for ``make_trace("PIK-IPLEX", ...)``."""
+    return make_trace("PIK-IPLEX", horizon, seed, scale)
+
+
+def ricc(horizon: int, seed=0, scale: float = 1.0):
+    """Shorthand for ``make_trace("RICC", ...)``."""
+    return make_trace("RICC", horizon, seed, scale)
+
+
+def sharcnet_whale(horizon: int, seed=0, scale: float = 1.0):
+    """Shorthand for ``make_trace("SHARCNET-Whale", ...)``."""
+    return make_trace("SHARCNET-Whale", horizon, seed, scale)

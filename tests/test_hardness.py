@@ -1,0 +1,114 @@
+"""Tests for the Theorem 5.1 SUBSETSUM gadget.
+
+The headline integration test: computing the dummy organization's Shapley
+contribution with the exact REF machinery and decoding
+``floor((k+2)! phi_a / L)`` recovers the subset-count oracle n_<x(S) --
+i.e., our pipeline reproduces the reduction's arithmetic.
+"""
+
+from itertools import permutations
+from math import factorial
+
+import pytest
+
+from repro.algorithms.ref import RefScheduler
+from repro.analysis.hardness import (
+    ORG_A,
+    ORG_B,
+    count_orderings_below,
+    decode_contribution,
+    gadget_eval_time,
+    gadget_large_size,
+    gadget_workload,
+    subsets_below,
+)
+
+
+class TestCombinatorics:
+    def test_subsets_below(self):
+        assert subsets_below([1, 2], 2) == [(), (0,)]
+        assert subsets_below([1, 2], 4) == [(), (0,), (1,), (0, 1)]
+        assert subsets_below([1, 2], 0) == []
+
+    def test_count_formula_matches_bruteforce(self):
+        """n_<x(S) literally counts orderings of S + {a, b} where a arrives
+        right after (some below-x subset) + {b}."""
+        values = [1, 2, 3]
+        x = 3
+        k = len(values)
+        # brute force over all orderings of k+2 elements; a=k, b=k+1
+        a, b = k, k + 1
+        count = 0
+        for order in permutations(range(k + 2)):
+            pos = order.index(a)
+            before = set(order[:pos])
+            if b not in before:
+                continue
+            ssum = sum(values[i] for i in before - {b})
+            if ssum < x:
+                count += 1
+        assert count == count_orderings_below(values, x)
+
+    def test_large_size_formula(self):
+        values = [1, 2]
+        x_tot = 5
+        assert gadget_large_size(values) == 4 * 2 * x_tot**2 * factorial(4) + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gadget_workload([], 1)
+        with pytest.raises(ValueError):
+            gadget_workload([0], 1)
+        with pytest.raises(ValueError):
+            gadget_workload([1], -1)
+
+
+class TestGadgetStructure:
+    def test_workload_layout(self):
+        values = [1, 2]
+        wl = gadget_workload(values, 2)
+        assert wl.n_orgs == 4
+        assert all(o.machines == 1 for o in wl.organizations)
+        a, b = ORG_A(values), ORG_B(values)
+        assert len(wl.jobs_of(a)) == 0
+        b_jobs = wl.jobs_of(b)
+        assert [j.release for j in b_jobs] == [2, 2 * 2 + 3]
+        assert b_jobs[1].size == gadget_large_size(values)
+        for i, xi in enumerate(values):
+            sizes = [j.size for j in wl.jobs_of(i)]
+            assert sizes == [1, 1, 2 * (sum(values) + 2), 2 * xi]
+
+
+@pytest.mark.slow
+class TestEndToEndDecoding:
+    """Theorem 5.1, executed: REF contributions decode subset-sum counts."""
+
+    @pytest.mark.parametrize(
+        "values,x", [([1, 2], 2), ([1, 2], 3), ([2, 3], 5)]
+    )
+    def test_decode_matches_oracle(self, values, x):
+        wl = gadget_workload(values, x)
+        t = gadget_eval_time(values, x)
+        phi = RefScheduler().contributions_at(wl, t)
+        a = ORG_A(values)
+        assert decode_contribution(phi[a], values) == count_orderings_below(
+            values, x
+        )
+
+    def test_subset_sum_answer(self):
+        """Compare n_<x and n_<x+1 to answer SUBSETSUM (paper's last step)."""
+        values = [1, 2]
+        a = ORG_A(values)
+
+        def decoded(x):
+            wl = gadget_workload(values, x)
+            phi = RefScheduler().contributions_at(
+                wl, gadget_eval_time(values, x)
+            )
+            return decode_contribution(phi[a], values)
+
+        # a subset summing to exactly 2 exists ({2}): counts must differ
+        assert decoded(3) > decoded(2)
+        # oracle agreement on both
+        assert decoded(2) == count_orderings_below(values, 2)
+        assert decoded(3) == count_orderings_below(values, 3)

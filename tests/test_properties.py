@@ -1,0 +1,155 @@
+"""Tests for Propositions 4.2, 5.4, 5.5 and the Theorem 5.3 gap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.greedy import fifo_select
+from repro.analysis.inapprox import order_reverse_gap
+from repro.analysis.properties import (
+    greedy_value_invariance,
+    non_supermodular_witness,
+    psi_flowtime_identity,
+)
+
+from .conftest import random_workload
+
+
+class TestProp42:
+    """psi_sp vs flow time for equal-size completed jobs."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        p=st.integers(1, 8),
+        starts=st.lists(st.integers(0, 30), min_size=1, max_size=6),
+        data=st.data(),
+    )
+    def test_identity_holds(self, p, starts, data):
+        releases = [
+            data.draw(st.integers(0, s), label="release") for s in starts
+        ]
+        t = max(starts) + p + data.draw(st.integers(0, 10))
+        pairs = [(s, p) for s in starts]
+        psi, flow, holds = psi_flowtime_identity(pairs, releases, t)
+        assert holds
+
+    def test_implies_rank_equivalence(self):
+        """Among equal-size completed-job schedules of the same job set,
+        lower flow time <=> higher psi_sp."""
+        p, t = 3, 30
+        releases = [0, 0, 0]
+        variants = [
+            [(0, p), (3, p), (6, p)],
+            [(0, p), (4, p), (8, p)],
+            [(2, p), (5, p), (9, p)],
+        ]
+        scored = []
+        for pairs in variants:
+            psi, flow, holds = psi_flowtime_identity(pairs, releases, t)
+            assert holds
+            scored.append((psi, flow))
+        by_psi = sorted(scored, key=lambda x: -x[0])
+        by_flow = sorted(scored, key=lambda x: x[1])
+        assert by_psi == by_flow
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(ValueError):
+            psi_flowtime_identity([(0, 1), (0, 2)], [0, 0], 10)
+
+    def test_rejects_incomplete_jobs(self):
+        with pytest.raises(ValueError):
+            psi_flowtime_identity([(0, 5)], [0], 3)
+
+    def test_empty(self):
+        assert psi_flowtime_identity([], [], 5) == (0, 0, True)
+
+
+class TestProp54:
+    """Unit jobs: every greedy algorithm gives the same coalition value."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_invariance_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        wl = random_workload(
+            rng, n_orgs=3, n_jobs=30, max_release=20, sizes=(1,)
+        )
+
+        def longest_queue(engine):
+            return max(
+                engine.waiting_orgs(),
+                key=lambda u: (engine.waiting_count(u), -u),
+            )
+
+        def lowest_org(engine):
+            return engine.waiting_orgs()[0]
+
+        times = [0, 5, 11, 17, 25, 40]
+        assert greedy_value_invariance(
+            wl, [fifo_select, longest_queue, lowest_org], times
+        )
+
+    def test_rejects_non_unit_jobs(self):
+        rng = np.random.default_rng(0)
+        wl = random_workload(rng, sizes=(2,))
+        with pytest.raises(ValueError):
+            greedy_value_invariance(wl, [fifo_select], [5])
+
+    def test_invariance_fails_for_general_sizes(self):
+        """The restriction to unit sizes is necessary: Fig. 7's instance
+        has greedy schedules with different values."""
+        from repro.core.engine import ClusterEngine
+
+        from .conftest import make_workload
+
+        wl = make_workload([2, 2], [(0, 0, 3)] * 4 + [(0, 1, 6)] * 2)
+        t = 6
+
+        def o1_first(engine):
+            w = engine.waiting_orgs()
+            return 0 if 0 in w else w[0]
+
+        def o2_first(engine):
+            w = engine.waiting_orgs()
+            return 1 if 1 in w else w[0]
+
+        values = []
+        for policy in (o1_first, o2_first):
+            eng = ClusterEngine(wl, horizon=t)
+            eng.drive(policy, until=t)
+            if eng.t < t:
+                eng.advance_to(t)
+            values.append(eng.value(t))
+        assert values[0] != values[1]
+
+
+class TestProp55:
+    def test_paper_witness_numbers(self):
+        w = non_supermodular_witness()
+        assert (w.v_ac, w.v_bc, w.v_abc, w.v_c) == (4, 4, 7, 0)
+        assert not w.is_supermodular_here
+
+
+class TestTheorem53Gap:
+    def test_small_cases_exact(self):
+        g = order_reverse_gap(2, 1)
+        # one machine, two unit jobs at t=2: utilities (2,1) vs (1,2)
+        assert g.delta_psi == 2
+        assert g.total_value == 3
+
+    def test_gap_tends_to_one(self):
+        ratios = [order_reverse_gap(m, 2).ratio for m in (2, 4, 8, 32, 128)]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 0.98
+
+    def test_total_value_schedule_independent(self):
+        for m in (3, 5):
+            g = order_reverse_gap(m, 4)
+            assert g.total_value > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            order_reverse_gap(0)
+        with pytest.raises(ValueError):
+            order_reverse_gap(3, 0)

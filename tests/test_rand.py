@@ -1,0 +1,107 @@
+"""Tests for RAND, the randomized fair scheduler (FPRAS for unit jobs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.rand import RandScheduler
+from repro.algorithms.ref import RefScheduler
+from repro.shapley.sampling import hoeffding_samples
+from repro.sim.metrics import unfairness
+
+from .conftest import make_workload, random_workload
+
+
+class TestConstruction:
+    def test_name_includes_n(self):
+        assert RandScheduler(15).name == "Rand(N=15)"
+
+    def test_rejects_zero_orderings(self):
+        with pytest.raises(ValueError):
+            RandScheduler(0)
+
+    def test_from_bounds_uses_hoeffding(self):
+        s = RandScheduler.from_bounds(k=4, epsilon=0.5, lam=0.5)
+        assert s.n_orderings == hoeffding_samples(4, 0.5, 0.5)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(9)
+        wl = random_workload(rng, n_orgs=3, n_jobs=20)
+        a = RandScheduler(10, seed=42).run(wl)
+        b = RandScheduler(10, seed=42).run(wl)
+        assert a.schedule == b.schedule
+
+    def test_meta_reports_coalitions(self):
+        wl = make_workload([1, 1], [(0, 0, 1), (0, 1, 1)])
+        r = RandScheduler(5, seed=0).run(wl)
+        assert r.meta["n_orderings"] == 5
+        assert r.meta["n_coalitions"] >= 2
+
+
+class TestFairness:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2_000))
+    def test_schedules_feasible_and_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        wl = random_workload(rng, n_orgs=3, n_jobs=18)
+        r = RandScheduler(7, seed=seed).run(wl)
+        r.schedule.validate(wl)
+
+    def test_unit_jobs_high_n_tracks_ref(self):
+        """With unit jobs and many samples, RAND's schedule utilities are
+        close to REF's (Theorem 5.6).  Averaged over several instances the
+        normalized gap must be small."""
+        gaps = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            wl = random_workload(
+                rng, n_orgs=3, n_jobs=40, max_release=25, sizes=(1,),
+                machine_counts=[1, 1, 1],
+            )
+            t_end = 40
+            ref = RefScheduler(horizon=t_end).run(wl)
+            r = RandScheduler(60, seed=seed, horizon=t_end).run(wl)
+            v = max(1, ref.value(t_end))
+            gaps.append(unfairness(r, ref, t_end) / v)
+        assert float(np.mean(gaps)) < 0.05
+
+    def test_more_samples_not_worse_on_average(self):
+        """epsilon decreases with N; check the trend over seeds."""
+        def mean_gap(n_orderings: int) -> float:
+            out = []
+            for seed in range(6):
+                rng = np.random.default_rng(100 + seed)
+                wl = random_workload(
+                    rng, n_orgs=3, n_jobs=30, max_release=20, sizes=(1,),
+                    machine_counts=[2, 1, 1],
+                )
+                t_end = 35
+                ref = RefScheduler(horizon=t_end).run(wl)
+                r = RandScheduler(n_orderings, seed=seed, horizon=t_end).run(wl)
+                v = max(1, ref.value(t_end))
+                out.append(unfairness(r, ref, t_end) / v)
+            return float(np.mean(out))
+
+        assert mean_gap(40) <= mean_gap(2) + 0.02
+
+    def test_general_sizes_run(self):
+        """For non-unit jobs RAND is the paper's heuristic; it must at
+        least produce feasible greedy schedules and beat RoundRobin's
+        fairness on a contended instance."""
+        from repro.algorithms import RoundRobinScheduler
+
+        rng = np.random.default_rng(3)
+        wl = random_workload(
+            rng, n_orgs=3, n_jobs=40, max_release=10, sizes=(2, 3, 7),
+            machine_counts=[2, 1, 1],
+        )
+        t_end = 60
+        ref = RefScheduler(horizon=t_end).run(wl)
+        rand_gap = unfairness(
+            RandScheduler(15, seed=1, horizon=t_end).run(wl), ref, t_end
+        )
+        rr_gap = unfairness(
+            RoundRobinScheduler(horizon=t_end).run(wl), ref, t_end
+        )
+        assert rand_gap <= rr_gap

@@ -1,0 +1,120 @@
+"""Tests for the scheduling game and the unit-job Lindley fast path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.greedy import fifo_select
+from repro.core.engine import ClusterEngine
+from repro.shapley.games import (
+    SchedulingGame,
+    TableGame,
+    _lindley_served,
+    unit_coalition_value,
+)
+
+from .conftest import make_workload, random_workload
+
+
+class TestTableGame:
+    def test_lookup(self):
+        g = TableGame(2, {0: 0, 1: 3, 2: 4, 3: 10})
+        assert g(3) == 10
+
+    def test_missing_coalitions_rejected(self):
+        with pytest.raises(ValueError, match="misses"):
+            TableGame(2, {0: 0, 3: 10})
+
+
+class TestLindley:
+    def test_served_simple_queue(self):
+        # 3 arrivals at slot 0, 1 server
+        served = _lindley_served(np.array([3, 0, 0, 0]), 1)
+        assert served.tolist() == [1, 1, 1, 0]
+
+    def test_served_never_exceeds_capacity(self):
+        rng = np.random.default_rng(0)
+        releases = rng.integers(0, 5, size=50)
+        for m in (1, 2, 4):
+            served = _lindley_served(releases, m)
+            assert served.max() <= m
+            assert served.sum() <= releases.sum()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 5_000), m=st.integers(1, 4))
+    def test_unit_value_matches_engine(self, seed, m):
+        """The Lindley closed form equals an actual greedy simulation."""
+        rng = np.random.default_rng(seed)
+        wl = random_workload(
+            rng, n_orgs=2, n_jobs=25, max_release=15, sizes=(1,),
+            machine_counts=[m, 0],
+        )
+        t = 25
+        eng = ClusterEngine(wl, horizon=t)
+        eng.drive(fifo_select, until=t)
+        if eng.t < t:
+            eng.advance_to(t)
+        assert unit_coalition_value(wl, [0, 1], t) == eng.value(t)
+
+    def test_rejects_non_unit_jobs(self):
+        wl = make_workload([1], [(0, 0, 2)])
+        with pytest.raises(ValueError, match="unit-size"):
+            unit_coalition_value(wl, [0], 5)
+
+    def test_zero_machines_zero_value(self):
+        wl = make_workload([0], [(0, 0, 1)])
+        assert unit_coalition_value(wl, [0], 10) == 0
+
+
+class TestSchedulingGame:
+    def wl(self):
+        return make_workload(
+            [1, 1, 1],
+            [(0, 0, 1), (0, 0, 1), (0, 1, 1), (0, 1, 1)],
+        )
+
+    def test_prop_5_5_values(self):
+        """The Prop. 5.5 witness computed through the game interface."""
+        game = SchedulingGame(self.wl(), t=2)
+        a, b, c = 1, 2, 4
+        assert game(a | c) == 4
+        assert game(b | c) == 4
+        assert game(a | b | c) == 7
+        assert game(c) == 0
+
+    def test_empty_coalition_zero(self):
+        assert SchedulingGame(self.wl(), 5)(0) == 0
+
+    def test_cache_is_used(self):
+        game = SchedulingGame(self.wl(), 5)
+        v1 = game(0b111)
+        assert game(0b111) == v1
+        assert 0b111 in game._cache
+
+    def test_fifo_and_fair_policies_agree_on_unit_jobs(self):
+        """Prop. 5.4 consequence: for unit jobs the recursive fair values
+        equal any-greedy values."""
+        wl = self.wl()
+        t = 4
+        fifo = SchedulingGame(wl, t, policy="fifo")
+        fair = SchedulingGame(wl, t, policy="fair")
+        for mask in range(8):
+            assert fifo(mask) == fair(mask), mask
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingGame(self.wl(), 5, policy="optimal")
+
+    def test_general_sizes_use_engine(self):
+        wl = make_workload([1, 1], [(0, 0, 3), (0, 1, 2)])
+        game = SchedulingGame(wl, t=6)
+        # single-org coalitions schedule alone on their own machine
+        assert game(0b01) == 3 * 6 - 3  # psi_sp of (0,3) at 6
+        assert game(0b10) == 2 * 6 - 1  # psi_sp of (0,2) at 6
+        assert game(0b11) >= game(0b01) + 0  # pooling cannot hurt org 0 here
+
+    def test_values_for_batch(self):
+        game = SchedulingGame(self.wl(), 3)
+        out = game.values_for([0, 1, 7])
+        assert set(out) == {0, 1, 7}

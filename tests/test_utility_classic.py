@@ -1,0 +1,96 @@
+"""Tests for classic utilities and their axiom violations (Section 4's
+motivation for the strategy-proof utility)."""
+
+import pytest
+
+from repro.utility.classic import (
+    CompletedCountUtility,
+    CompletedWorkUtility,
+    FlowTimeUtility,
+    MakespanUtility,
+    flow_time,
+    turnaround_times,
+)
+from repro.utility.strategyproof import psi_sp
+
+
+class TestMetrics:
+    def test_completed_count(self):
+        util = CompletedCountUtility()
+        assert util.value([(0, 3), (1, 5)], 4) == 1
+        assert util.value([(0, 3), (1, 5)], 6) == 2
+        assert util.value([], 6) == 0
+
+    def test_completed_work(self):
+        util = CompletedWorkUtility()
+        assert util.value([(0, 3), (2, 4)], 4) == 3 + 2
+
+    def test_makespan(self):
+        util = MakespanUtility()
+        assert util.value([(0, 3), (1, 5)], 10) == -6
+        assert util.value([(0, 3), (1, 5)], 4) == -3
+
+    def test_flow_time_utility_default_releases(self):
+        util = FlowTimeUtility()
+        # completions 3 and 6, releases assumed 0
+        assert util.value([(0, 3), (1, 5)], 10) == -9
+
+    def test_flow_time_fn(self):
+        pairs = [(0, 3), (4, 2)]
+        assert flow_time(pairs, [0, 1]) == 3 + 5
+        assert flow_time(pairs, [0, 1], t=3) == 3
+        with pytest.raises(ValueError):
+            flow_time(pairs, [0])
+
+    def test_turnaround_times(self):
+        assert turnaround_times([(0, 3), (4, 2)], [0, 1]) == [3, 5]
+        with pytest.raises(ValueError):
+            turnaround_times([(0, 1)], [])
+
+
+class TestAxiomViolations:
+    """Concrete counterexamples: why the classic metrics are manipulable."""
+
+    def test_flow_time_is_not_merge_split_invariant(self):
+        """Flow time changes when a job is split into back-to-back pieces
+        (merged: completion 4 -> flow 4; split: completions 2,4 -> flow 6),
+        so organizations can manipulate how a flow-time-fair scheduler
+        perceives their satisfaction -- the violation psi_sp removes."""
+        merged_flow = flow_time([(0, 4)], [0])
+        split_flow = flow_time([(0, 2), (2, 2)], [0, 0])
+        assert merged_flow == 4
+        assert split_flow == 6
+        assert merged_flow != split_flow
+        # psi_sp is invariant on the same manipulation:
+        assert psi_sp([(0, 4)], 9) == psi_sp([(0, 2), (2, 2)], 9)
+
+    def test_flow_time_improves_by_not_scheduling(self):
+        """An empty schedule has optimal (zero) flow time -- violating task
+        count anonymity (more completed work must be better)."""
+        assert flow_time([], []) == 0
+        assert flow_time([(0, 3)], [0]) > 0
+        # psi_sp orders these correctly:
+        assert psi_sp([(0, 3)], 5) > psi_sp([], 5)
+
+    def test_completed_count_rewards_splitting(self):
+        util = CompletedCountUtility()
+        merged = util.value([(0, 4)], 3)  # not yet complete -> 0
+        split = util.value([(0, 1), (1, 1), (2, 1), (3, 1)], 3)  # 3 done
+        assert split > merged
+
+    def test_completed_count_ignores_delay(self):
+        util = CompletedCountUtility()
+        assert util.value([(0, 2)], 10) == util.value([(5, 2)], 10)
+        # psi_sp penalizes the delay:
+        assert psi_sp([(0, 2)], 10) > psi_sp([(5, 2)], 10)
+
+    def test_makespan_ignores_all_but_last(self):
+        util = MakespanUtility()
+        assert util.value([(0, 1), (4, 2)], 10) == util.value([(5, 1), (4, 2)], 10)
+
+    def test_completed_work_is_merge_split_invariant_but_not_delay_aware(self):
+        util = CompletedWorkUtility()
+        # merge/split invariant (like psi_sp):
+        assert util.value([(0, 2), (2, 3)], 10) == util.value([(0, 5)], 10)
+        # ... but delaying costs nothing once work completes (axiom 1 fails)
+        assert util.value([(0, 2)], 10) == util.value([(6, 2)], 10)

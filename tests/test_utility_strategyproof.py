@@ -1,0 +1,227 @@
+"""Tests for the strategy-proof utility (Theorem 4.1 / Eq. 3), including the
+paper's Fig. 2 worked example verified digit-for-digit."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utility.strategyproof import (
+    GeneralAnonymousUtility,
+    StrategyProofUtility,
+    psi_sp,
+    psi_sp_vector,
+    unit_value,
+)
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(1, 20)), max_size=8
+)
+
+
+class TestPsiSpBasics:
+    def test_empty_schedule_is_zero(self):
+        assert psi_sp([], 10) == 0
+
+    def test_unit_job_value(self):
+        # a unit run in slot s is worth t - s
+        assert psi_sp([(3, 1)], 10) == 7
+        assert unit_value(3, 10) == 7
+        assert unit_value(10, 10) == 0
+
+    def test_job_not_started_yet(self):
+        assert psi_sp([(5, 3)], 5) == 0
+        assert psi_sp([(5, 3)], 3) == 0
+
+    def test_completed_job_closed_form(self):
+        # units at slots 2,3,4 evaluated at 10: 8 + 7 + 6
+        assert psi_sp([(2, 3)], 10) == 21
+
+    def test_partial_job(self):
+        # size 5 started at 0, evaluated at 3: units at 0,1,2 -> 3+2+1
+        assert psi_sp([(0, 5)], 3) == 6
+
+    def test_additive_over_jobs(self):
+        assert psi_sp([(0, 2), (4, 3)], 9) == psi_sp([(0, 2)], 9) + psi_sp(
+            [(4, 3)], 9
+        )
+
+    def test_class_interface(self):
+        util = StrategyProofUtility()
+        assert util.value([(0, 2)], 5) == psi_sp([(0, 2)], 5)
+        assert util.job_value(0, 2, 5) == psi_sp([(0, 2)], 5)
+        assert util.maximize
+
+    @given(pairs=pairs_strategy, t=st.integers(0, 100))
+    def test_vectorized_matches_scalar(self, pairs, t):
+        starts = np.array([s for s, _ in pairs])
+        sizes = np.array([p for _, p in pairs])
+        assert psi_sp_vector(starts, sizes, t) == psi_sp(pairs, t)
+
+    @given(pairs=pairs_strategy, t=st.integers(0, 100))
+    def test_equals_unit_decomposition(self, pairs, t):
+        """Eq. 3's interpretation: a job is its unit-size parts."""
+        expected = sum(
+            unit_value(s + i, t)
+            for s, p in pairs
+            for i in range(min(p, max(0, t - s)))
+        )
+        assert psi_sp(pairs, t) == expected
+
+
+class TestAxiomsHold:
+    """The three Theorem 4.1 axioms, property-tested."""
+
+    @settings(max_examples=60)
+    @given(
+        base_a=pairs_strategy,
+        base_b=pairs_strategy,
+        s_a=st.integers(0, 30),
+        s_b=st.integers(0, 30),
+        p=st.integers(1, 10),
+        t=st.integers(42, 90),  # >= 30 + 1 + 10: both placements complete
+    )
+    def test_start_time_anonymity(self, base_a, base_b, s_a, s_b, p, t):
+        """Axiom 1 for placements fully executed by ``t``: the unit-shift
+        gain is the constant ``p`` regardless of context and start."""
+        gain_a = psi_sp([*base_a, (s_a, p)], t) - psi_sp(
+            [*base_a, (s_a + 1, p)], t
+        )
+        gain_b = psi_sp([*base_b, (s_b, p)], t) - psi_sp(
+            [*base_b, (s_b + 1, p)], t
+        )
+        assert gain_a == gain_b == p > 0
+
+    def test_start_time_anonymity_boundary(self):
+        """At the non-clairvoyant boundary (job still running at t) the
+        shift gain equals the number of *executed* units, not p: shifting a
+        partially executed job right removes its last executed unit.  The
+        axiom is therefore about fully executed placements; Theorem 4.1's
+        derivation decomposes jobs into executed unit parts accordingly."""
+        # (23, 10) at t=32: 9 executed units; shifted: 8 -> gain 9, not 10
+        gain = psi_sp([(23, 10)], 32) - psi_sp([(24, 10)], 32)
+        assert gain == 9
+        # completed placements give the constant gain p
+        assert psi_sp([(0, 10)], 32) - psi_sp([(1, 10)], 32) == 10
+
+    @settings(max_examples=60)
+    @given(
+        base_a=pairs_strategy,
+        base_b=pairs_strategy,
+        s=st.integers(0, 30),
+        p=st.integers(1, 10),
+        t=st.integers(41, 90),  # the added task completes by t
+    )
+    def test_task_count_anonymity(self, base_a, base_b, s, p, t):
+        gain_a = psi_sp([*base_a, (s, p)], t) - psi_sp(base_a, t)
+        gain_b = psi_sp([*base_b, (s, p)], t) - psi_sp(base_b, t)
+        assert gain_a == gain_b > 0
+
+    @settings(max_examples=60)
+    @given(
+        base=pairs_strategy,
+        s=st.integers(0, 30),
+        p1=st.integers(1, 10),
+        p2=st.integers(1, 10),
+        t=st.integers(0, 100),
+    )
+    def test_strategy_resistance_merge_split(self, base, s, p1, p2, t):
+        lhs = (
+            psi_sp([*base, (s, p1)], t)
+            + psi_sp([*base, (s + p1, p2)], t)
+            - psi_sp(base, t)
+        )
+        rhs = psi_sp([*base, (s, p1 + p2)], t)
+        assert lhs == rhs
+
+    @settings(max_examples=40)
+    @given(
+        s=st.integers(0, 30),
+        p=st.integers(1, 10),
+        delta=st.integers(1, 10),
+        t=st.integers(45, 100),
+    )
+    def test_delaying_never_profitable(self, s, p, delta, t):
+        assert psi_sp([(s + delta, p)], t) <= psi_sp([(s, p)], t)
+
+    @settings(max_examples=40)
+    @given(
+        s=st.integers(0, 20),
+        p=st.integers(1, 10),
+        extra=st.integers(1, 10),
+        t=st.integers(0, 60),
+    )
+    def test_inflating_never_reduces(self, s, p, extra, t):
+        """Processing a larger job is always worth at least as much --
+        the paper's argument that size inflation is not a useful attack
+        (the extra units still consume the attacker's own time)."""
+        assert psi_sp([(s, p + extra)], t) >= psi_sp([(s, p)], t)
+
+
+class TestGeneralFamily:
+    def test_canonical_member_matches_eq3(self):
+        fam = GeneralAnonymousUtility(k1="t", k2=1, k3=0)
+        for pairs in ([], [(0, 3)], [(2, 5), (4, 1)]):
+            for t in (0, 3, 7, 20):
+                assert fam.value(pairs, t) == psi_sp(pairs, t)
+
+    def test_affine_shift(self):
+        fam = GeneralAnonymousUtility(k1="t", k2=1, k3=5)
+        assert fam.value([], 9) == 5
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralAnonymousUtility(k1=0)
+        with pytest.raises(ValueError):
+            GeneralAnonymousUtility(k1=1, k2=0)
+
+    def test_rational_constants(self):
+        fam = GeneralAnonymousUtility(k1=Fraction(7, 2), k2=Fraction(1, 3))
+        v = fam.value([(0, 2)], 4)
+        # two units: each worth K1 - K2 * mid, mid = (0 + 1)/2
+        assert v == 2 * (Fraction(7, 2) - Fraction(1, 3) * Fraction(1, 2))
+
+    @settings(max_examples=40)
+    @given(
+        base=pairs_strategy,
+        s=st.integers(0, 20),
+        p1=st.integers(1, 8),
+        p2=st.integers(1, 8),
+        t=st.integers(0, 60),
+    )
+    def test_family_satisfies_strategy_resistance(self, base, s, p1, p2, t):
+        fam = GeneralAnonymousUtility(k1=3, k2=Fraction(1, 2), k3=1)
+        lhs = (
+            fam.value([*base, (s, p1)], t)
+            + fam.value([*base, (s + p1, p2)], t)
+            - fam.value(base, t)
+        )
+        assert lhs == fam.value([*base, (s, p1 + p2)], t)
+
+    def test_as_canonical(self):
+        assert isinstance(
+            GeneralAnonymousUtility().as_canonical(), StrategyProofUtility
+        )
+
+
+class TestFigure2Example:
+    """The paper's Fig. 2 caption, digit for digit."""
+
+    def test_all_caption_numbers(self):
+        from repro.experiments.figures import figure2_numbers
+
+        n = figure2_numbers()
+        assert n.psi_o1_t13 == 262
+        assert n.psi_o1_t14 == 297
+        assert n.flow_time_o1 == 70
+        assert n.gain_without_j2 == 4
+        assert n.loss_j6_late == -6
+        assert n.loss_drop_j9 == -10
+
+    def test_figure2_schedule_is_feasible(self):
+        from repro.experiments.figures import figure2_schedule, figure2_workload
+
+        sched = figure2_schedule()
+        sched.validate(figure2_workload())

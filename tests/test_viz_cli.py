@@ -1,0 +1,104 @@
+"""Tests for the text visualization helpers and the CLI."""
+
+import pytest
+
+from repro.algorithms import GreedyFifoScheduler, RefScheduler
+from repro.cli import build_parser, main
+from repro.sim.runner import compare_algorithms
+from repro.viz import fairness_report, gantt, sparkline, utilities_bar
+
+from .conftest import make_workload
+
+
+class TestViz:
+    def wl(self):
+        return make_workload([1, 1], [(0, 0, 3), (0, 1, 2), (2, 1, 4)])
+
+    def test_gantt(self):
+        result = GreedyFifoScheduler().run(self.wl())
+        chart = gantt(result.schedule, 2, 8)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # axis + 2 machines
+        assert "1" in chart and "2" in chart
+        with pytest.raises(ValueError):
+            gantt(result.schedule, 0, 8)
+
+    def test_gantt_content(self):
+        result = GreedyFifoScheduler().run(self.wl())
+        chart = gantt(result.schedule, 2, 8)
+        m0 = chart.splitlines()[1]
+        assert m0.startswith("  M0 ")
+        # org 0's size-3 job occupies machine 0 slots 0..2
+        assert "|111" in m0
+
+    def test_utilities_bar(self):
+        result = GreedyFifoScheduler().run(self.wl())
+        bars = utilities_bar(result, 8)
+        assert "O(0)" in bars and "O(1)" in bars
+        assert "#" in bars
+
+    def test_fairness_report(self):
+        wl = self.wl()
+        comp = compare_algorithms(
+            [GreedyFifoScheduler(10)], RefScheduler(10), wl, 10
+        )
+        report = fairness_report(comp)
+        assert "GreedyFIFO" in report
+        assert "avg delay" in report
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        line = sparkline([0, 5, 10])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["figure2"],
+            ["figure7"],
+            ["gap"],
+            ["gadget", "1,2", "2"],
+            ["demo"],
+            ["table1"],
+            ["table2"],
+            ["figure10"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_figure2_command(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "262" in out and "297" in out
+
+    def test_figure7_command(self, capsys):
+        assert main(["figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "100%" in out and "75%" in out
+
+    def test_gap_command(self, capsys):
+        assert main(["gap", "--max-orgs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "m=    8" in out
+
+    def test_gadget_command(self, capsys):
+        assert main(["gadget", "1,2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exists: True" in out
+
+    @pytest.mark.slow
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--duration", "800", "--orgs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fairness vs REF" in out
+
+    @pytest.mark.slow
+    def test_figure10_command(self, capsys):
+        assert main(["figure10", "--orgs", "2,3", "--duration", "600",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "organizations" in out
