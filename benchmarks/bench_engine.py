@@ -88,3 +88,27 @@ def test_ref_event_cost(benchmark):
 
     result = benchmark(run)
     assert len(result.schedule) == 40
+
+
+def ref_k8_workload():
+    """The REF k=8 scaling instance (255 coalition engines per event) --
+    the speedup target of the CoalitionFleet refactor, recorded in
+    BENCH_fleet.json by benchmarks/record_fleet.py."""
+    rng = np.random.default_rng(8)
+    return random_workload(
+        rng, n_orgs=8, n_jobs=48, max_release=60,
+        sizes=(1, 2, 5), machine_counts=[1] * 8,
+    )
+
+
+def test_ref_k8_event_loop(benchmark):
+    """The full REF event loop at k=8: batched fleet values + vectorized
+    UpdateVals vs the seed's pure-Python 2^k passes (>= 2x target)."""
+    wl = ref_k8_workload()
+    from repro.algorithms.ref import RefScheduler
+
+    def run():
+        return RefScheduler().run(wl)
+
+    result = benchmark(run)
+    assert len(result.schedule) == 48

@@ -14,14 +14,32 @@ import time
 
 import numpy as np
 
+from repro.algorithms.ref import RefScheduler
 from repro.shapley.exact import shapley_exact
 from repro.shapley.games import SchedulingGame
 from repro.shapley.sampling import hoeffding_samples, shapley_sample
 
+from .bench_engine import ref_k8_workload
 from .conftest import FULL, once
 from tests.conftest import random_workload
 
 KS = (2, 3, 4, 5, 6, 7, 8) if FULL else (2, 3, 4, 5, 6)
+
+
+def test_ref_recursion_k8(benchmark):
+    """Exact Shapley contributions through the full REF recursion at k=8:
+    the CoalitionFleet + vectorized-UpdateVals hot path (the Fig. 10 / Cor.
+    3.5 FPT machinery; >= 2x vs the seed implementation, see
+    BENCH_fleet.json)."""
+    wl = ref_k8_workload()
+
+    def run():
+        return RefScheduler(collect_contributions=True).run(wl)
+
+    result = benchmark(run)
+    phi = result.meta["contributions"]
+    # efficiency: the exact shares divide the grand value at the eval time
+    assert sum(phi) == result.value(result.meta["contributions_time"])
 
 
 def test_exact_cost_vs_k(benchmark):

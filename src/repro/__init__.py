@@ -40,6 +40,7 @@ from .algorithms import (
 from .core import (
     ClusterEngine,
     Coalition,
+    CoalitionFleet,
     Job,
     Organization,
     Schedule,
@@ -67,6 +68,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ClusterEngine",
     "Coalition",
+    "CoalitionFleet",
     "CurrFairShareScheduler",
     "DirectContributionScheduler",
     "FairShareScheduler",

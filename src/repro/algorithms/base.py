@@ -1,10 +1,15 @@
-"""Scheduler interface and the shared event-loop driver.
+"""Scheduler interface and the shared event-loop drivers.
 
 Every algorithm of the paper (Section 7.1) is a :class:`Scheduler`:
 ``run(workload) -> SchedulerResult``.  Simple algorithms (round robin, the
 fair share family, plain greedy FIFO) only choose *which organization's* job
 to start next and subclass :class:`PolicyScheduler`, which owns the
-event loop; REF / RAND / DIRECTCONTR override more of the machinery.
+per-engine event loop.  The contribution-driven algorithms (REF, its
+general-utility variant, RAND, DIRECTCONTR) are thin policies over a shared
+:class:`~repro.core.fleet.CoalitionFleet`: this module also hosts their
+common machinery -- the :func:`drive_fleet` EventQueue decision loop, the
+Fig. 3 ``argmax(phi - psi)`` selection rule (:func:`fair_select`), and the
+:func:`fill_capacity` start loop.
 
 All schedulers obey the paper's constraints by construction: greedy
 (never idle a machine while a job waits), non-preemptive, non-clairvoyant,
@@ -15,16 +20,87 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..core.engine import ClusterEngine
-from ..core.schedule import Schedule
+from ..core.fleet import CoalitionFleet
+from ..core.schedule import Schedule, ScheduledJob
 from ..core.workload import Workload
 from ..utility.strategyproof import psi_sp
 
-__all__ = ["Scheduler", "PolicyScheduler", "SchedulerResult"]
+__all__ = [
+    "Scheduler",
+    "PolicyScheduler",
+    "SchedulerResult",
+    "members_mask",
+    "fair_select",
+    "fill_capacity",
+    "drive_fleet",
+]
+
+
+def members_mask(
+    workload: Workload, members: Iterable[int] | None
+) -> tuple[tuple[int, ...], int]:
+    """Normalize a coalition spec to ``(sorted member tuple, bitmask)``.
+
+    ``None`` means the grand coalition; an empty coalition raises (no
+    contribution-driven scheduler can divide value among zero players).
+    """
+    members_t = (
+        tuple(sorted(set(members)))
+        if members is not None
+        else tuple(range(workload.n_orgs))
+    )
+    mask = 0
+    for u in members_t:
+        if not 0 <= u < workload.n_orgs:
+            raise ValueError(f"unknown organization {u}")
+        mask |= 1 << u
+    if mask == 0:
+        raise ValueError("need at least one organization")
+    return members_t, mask
+
+
+def fair_select(waiting: Sequence[int], keys: Mapping[int, int]) -> int:
+    """Fig. 3's ``SelectAndSchedule`` rule: the waiting organization
+    maximizing ``phi - psi`` (``keys``), ties broken by lowest org id."""
+    return max(waiting, key=lambda u: (keys[u], -u))
+
+
+def fill_capacity(
+    fleet: CoalitionFleet, mask: int, keys: Mapping[int, int]
+) -> list[ScheduledJob]:
+    """Start jobs on coalition ``mask`` while a machine is free and jobs
+    wait, always picking :func:`fair_select`'s winner; completion times are
+    pushed into the fleet's shared event queue."""
+    eng = fleet.engine(mask)
+    started: list[ScheduledJob] = []
+    while eng.free_count > 0 and eng.has_waiting():
+        u = fair_select(eng.waiting_orgs(), keys)
+        started.append(fleet.start_next(mask, u))
+    return started
+
+
+def drive_fleet(
+    fleet: CoalitionFleet, on_event: Callable[[CoalitionFleet, int], None]
+) -> int:
+    """The shared EventQueue-driven decision loop (paper Figs. 1/3/6).
+
+    Pops decision times (job releases seeded at fleet construction, plus
+    completion times pushed by every ``fleet.start_next``) until exhausted
+    or at/after the fleet's horizon, invoking ``on_event(fleet, t)`` at
+    each.  Returns the last processed event time (0 if none).
+    """
+    last = 0
+    while True:
+        t = fleet.next_decision()
+        if t is None:
+            return last
+        last = t
+        on_event(fleet, t)
 
 
 @dataclass(frozen=True)
@@ -125,7 +201,25 @@ class PolicyScheduler(Scheduler):
     def run(
         self, workload: Workload, members: Iterable[int] | None = None
     ) -> SchedulerResult:
-        engine = ClusterEngine(workload, members, horizon=self.horizon)
+        if members is not None:
+            members = tuple(members)  # may be a one-shot iterator
+            if not members:
+                # degenerate empty coalition: nothing to schedule
+                return SchedulerResult(
+                    algorithm=self.name,
+                    workload=workload,
+                    members=(),
+                    schedule=Schedule(()),
+                    horizon=self.horizon,
+                )
+        members_t, mask = members_mask(workload, members)
+        # a fleet of one coalition; the event loop talks to its engine
+        # directly (no shared decision queue to pop, no sibling engines to
+        # sync), so track_events is off and no per-event cost is added
+        fleet = CoalitionFleet(
+            workload, (mask,), horizon=self.horizon, track_events=False
+        )
+        engine = fleet.engine(mask)
         self.on_run_start(engine)
         while True:
             t = engine.next_event_time()

@@ -25,6 +25,12 @@ Two accounting modes:
 
 Tables 1-2 of the paper (and our benchmarks) show DIRECTCONTR beats the fair
 share family on Shapley-fairness while staying equally cheap.
+
+Like every policy scheduler, DIRECTCONTR runs on a
+:class:`~repro.core.fleet.CoalitionFleet` of one coalition (see
+:class:`~repro.algorithms.base.PolicyScheduler`); its random explicit
+machine choice is O(1) thanks to the engine's lazy-deletion free set
+(DESIGN.md §2.2).
 """
 
 from __future__ import annotations

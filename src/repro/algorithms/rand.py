@@ -19,10 +19,14 @@ samples the utility vector is, with probability ``lambda``, within
 sizes the same machinery is the paper's strong heuristic (Tables 1-2 run it
 with N = 15 and N = 75).
 
-Implementation notes: sampled coalitions are de-duplicated; each gets one
-:class:`~repro.core.engine.ClusterEngine` advanced lazily (its own greedy
-FIFO schedule) to the grand coalition's decision times.  Contribution
-estimates are compared as exact integers scaled by ``N``
+Implementation notes: the sampled prefix coalitions
+(:class:`~repro.shapley.sampling.SampledPrefixes`, de-duplicated) live in a
+:class:`~repro.core.fleet.CoalitionFleet` serving as a pure value oracle --
+each engine runs its own greedy FIFO schedule, driven lazily to the grand
+coalition's decision times, and values are read batched from the fleet's
+vectorized ψ_sp ledger.  A second fleet-of-one carries the actual RAND
+schedule through the shared decision loop.  Contribution estimates are
+compared as exact integers scaled by ``N``
 (``sum of sampled marginals - N * psi``).
 """
 
@@ -32,12 +36,16 @@ from typing import Iterable
 
 import numpy as np
 
-from ..core.coalition import iter_members
-from ..core.engine import ClusterEngine
-from ..core.events import EventQueue
+from ..core.fleet import CoalitionFleet
 from ..core.workload import Workload
-from ..shapley.sampling import hoeffding_samples
-from .base import Scheduler, SchedulerResult
+from ..shapley.sampling import SampledPrefixes, hoeffding_samples
+from .base import (
+    Scheduler,
+    SchedulerResult,
+    drive_fleet,
+    fill_capacity,
+    members_mask,
+)
 from .greedy import fifo_select
 
 __all__ = ["RandScheduler"]
@@ -88,13 +96,7 @@ class RandScheduler(Scheduler):
         self, workload: Workload, members: Iterable[int] | None = None
     ) -> SchedulerResult:
         """Build the sampled-contribution fair schedule for ``members``."""
-        members_t = (
-            tuple(sorted(set(members)))
-            if members is not None
-            else tuple(range(workload.n_orgs))
-        )
-        if not members_t:
-            raise ValueError("RAND needs at least one organization")
+        members_t, grand_mask = members_mask(workload, members)
         rng = (
             self._seed
             if isinstance(self._seed, np.random.Generator)
@@ -102,67 +104,51 @@ class RandScheduler(Scheduler):
         )
         member_arr = np.array(members_t, dtype=np.int64)
 
-        # Prepare (Fig. 6): sample N orderings, collect prefix-coalition
-        # pairs per organization, de-duplicate coalition masks.
-        pairs: dict[int, list[tuple[int, int]]] = {u: [] for u in members_t}
-        masks: set[int] = set()
-        for _ in range(self.n_orderings):
-            order = rng.permutation(member_arr)
-            mask = 0
-            for u in map(int, order):
-                with_u = mask | (1 << u)
-                pairs[u].append((mask, with_u))
-                if mask:
-                    masks.add(mask)
-                masks.add(with_u)
-                mask = with_u
-
-        engines = {
-            m: ClusterEngine(
-                workload, list(iter_members(m)), horizon=self.horizon
-            )
-            for m in masks
-        }
-        grand = ClusterEngine(workload, members_t, horizon=self.horizon)
-
-        events = EventQueue(
-            j.release for j in workload.jobs if j.org in set(members_t)
+        # Prepare (Fig. 6): sample N joining orders and collect the prefix
+        # coalition pairs per organization (de-duplicated masks).
+        orderings = np.stack(
+            [rng.permutation(member_arr) for _ in range(self.n_orderings)]
         )
-        while True:
-            t = events.pop()
-            if t is None or (self.horizon is not None and t >= self.horizon):
-                break
-            grand.advance_to(t)
+        prefixes = SampledPrefixes(workload.n_orgs, orderings)
+        sampled = sorted(m for m in prefixes.masks if m)
+
+        # The value oracle: one FIFO-driven engine per sampled coalition,
+        # advanced lazily -- note the grand *mask* is sampled too (every
+        # ordering ends in it), but its oracle engine runs plain FIFO and is
+        # distinct from the engine carrying the RAND schedule below.
+        oracle = CoalitionFleet(
+            workload, sampled, horizon=self.horizon, track_events=False
+        )
+        # The schedule carrier: its queue seeds the decision loop and
+        # receives every started job's completion time.
+        fleet = CoalitionFleet(workload, (grand_mask,), horizon=self.horizon)
+        grand = fleet.engine(grand_mask)
+
+        def on_event(fleet: CoalitionFleet, t: int) -> None:
+            fleet.advance_all(t)
             if grand.free_count == 0 or not grand.has_waiting():
-                # keep sampled engines lazily behind; they are only needed
-                # at decision times
-                continue
-            values = {0: 0}
-            for m, eng in engines.items():
-                eng.drive(fifo_select, until=t)
-                if eng.t < t:
-                    eng.advance_to(t)
-                values[m] = eng.value(t)
+                # keep the oracle engines lazily behind; they are only
+                # needed at decision times
+                return
+            values = oracle.values_at(t, select=fifo_select)
             # contribution estimate scaled by N (exact integers)
-            phi_scaled = {
-                u: sum(values[w] - values[p] for p, w in pairs[u])
-                for u in members_t
-            }
+            phi_scaled = prefixes.estimate_scaled(values)
             psis = grand.psis(t)
             keys = {
                 u: phi_scaled[u] - self.n_orderings * psis[u]
                 for u in members_t
             }
-            while grand.free_count > 0 and grand.has_waiting():
-                u = max(grand.waiting_orgs(), key=lambda w: (keys[w], -w))
-                entry = grand.start_next(u)
-                events.push(entry.end)
+            fill_capacity(fleet, grand_mask, keys)
 
+        drive_fleet(fleet, on_event)
         return SchedulerResult(
             algorithm=self.name,
             workload=workload,
             members=members_t,
             schedule=grand.schedule(),
             horizon=self.horizon,
-            meta={"n_orderings": self.n_orderings, "n_coalitions": len(masks)},
+            meta={
+                "n_orderings": self.n_orderings,
+                "n_coalitions": len(sampled),
+            },
         )

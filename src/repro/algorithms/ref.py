@@ -28,7 +28,11 @@ ambiguity can flip a fairness decision.
 Complexity per event: ``O(k·3^k)`` for contributions plus ``O(2^k)`` engine
 advances -- Prop. 3.4's FPT bound (Cor. 3.5).  Use for small k (the paper
 runs k <= 10; REF is the fairness *benchmark* other algorithms are measured
-against).
+against).  Both costs run vectorized: subcoalition simulation and batched
+values live in :class:`repro.core.fleet.CoalitionFleet`, and ``UpdateVals``
+is a cached coefficient-matrix product
+(:class:`repro.shapley.vectorized.ScaledShapleySolver`) with
+:func:`update_vals_scaled` as the exact big-int fallback and reference.
 
 The general-utility variant of Fig. 1 (arbitrary ψ, explicit ``Distance``)
 is :class:`GeneralRefScheduler`.
@@ -40,6 +44,8 @@ from fractions import Fraction
 from math import factorial
 from typing import Iterable
 
+import numpy as np
+
 from ..core.coalition import (
     iter_members,
     iter_subsets,
@@ -48,13 +54,25 @@ from ..core.coalition import (
     subsets_by_size,
 )
 from ..core.engine import ClusterEngine
-from ..core.events import EventQueue
+from ..core.fleet import CoalitionFleet
 from ..core.workload import Workload
+from ..shapley.vectorized import ScaledShapleySolver
 from ..utility.base import UtilityFunction
 from ..utility.strategyproof import StrategyProofUtility
-from .base import Scheduler, SchedulerResult
+from .base import (
+    Scheduler,
+    SchedulerResult,
+    drive_fleet,
+    fill_capacity,
+    members_mask,
+)
 
 __all__ = ["RefScheduler", "GeneralRefScheduler", "update_vals_scaled"]
+
+#: Coalition size from which REF uses the numpy value/contribution path;
+#: below it the per-event array overhead exceeds the Python loops it
+#: replaces (crossover measured in BENCH_fleet.json's instances).
+VECTORIZE_MIN_K = 5
 
 
 def update_vals_scaled(mask: int, values: dict[int, int]) -> dict[int, int]:
@@ -79,25 +97,10 @@ def update_vals_scaled(mask: int, values: dict[int, int]) -> dict[int, int]:
     return phi
 
 
-def _members_mask(
-    workload: Workload, members: Iterable[int] | None
-) -> tuple[tuple[int, ...], int]:
-    members_t = (
-        tuple(sorted(set(members)))
-        if members is not None
-        else tuple(range(workload.n_orgs))
-    )
-    mask = 0
-    for u in members_t:
-        mask |= 1 << u
-    if mask == 0:
-        raise ValueError("need at least one organization")
-    return members_t, mask
-
-
 class _RefRun:
-    """One complete REF recursion: engines for every nonempty subcoalition,
-    driven to the horizon.  Exposes the grand engine and contribution state."""
+    """One complete REF recursion: a :class:`CoalitionFleet` of engines for
+    every nonempty subcoalition, driven to the horizon by the shared
+    decision loop.  Exposes the grand engine and contribution state."""
 
     def __init__(
         self,
@@ -112,61 +115,68 @@ class _RefRun:
         self.horizon = horizon
         self.size_groups = subsets_by_size(grand_mask)
         self.nonempty = [m for group in self.size_groups[1:] for m in group]
-        self.engines = {
-            m: ClusterEngine(workload, list(iter_members(m)), horizon=horizon)
-            for m in self.nonempty
-        }
-        self.last_phi_scaled: dict[int, int] = {}
-        self.last_event: int = 0
-        self._drive()
-
-    def _drive(self) -> None:
-        events = EventQueue(
-            j.release
-            for j in self.workload.jobs
-            if j.org in set(self.members_t)
+        self.fleet = CoalitionFleet(workload, self.nonempty, horizon=horizon)
+        self.solver = ScaledShapleySolver(
+            {m: i for i, m in enumerate(self.fleet.masks)}
         )
-        horizon = self.horizon
-        while True:
-            t = events.pop()
-            if t is None or (horizon is not None and t >= horizon):
-                return
-            self.last_event = t
-            for m in self.nonempty:
-                self.engines[m].advance_to(t)
-            values = {0: 0}
-            for m in self.nonempty:
-                values[m] = self.engines[m].value(t)
-            for group in self.size_groups[1:]:
-                for m in group:
-                    eng = self.engines[m]
-                    if eng.free_count == 0 or not eng.has_waiting():
-                        continue
-                    phi_scaled = update_vals_scaled(m, values)
-                    if m == self.grand_mask:
-                        self.last_phi_scaled = dict(phi_scaled)
-                    fact = factorial(popcount(m))
-                    psis = eng.psis(t)
-                    keys = {
-                        u: phi_scaled[u] - fact * psis[u]
-                        for u in iter_members(m)
-                    }
-                    while eng.free_count > 0 and eng.has_waiting():
-                        u = max(
-                            eng.waiting_orgs(), key=lambda w: (keys[w], -w)
-                        )
-                        entry = eng.start_next(u)
-                        events.push(entry.end)
+        self._vectorize = popcount(grand_mask) >= VECTORIZE_MIN_K
+        self.last_phi_scaled: dict[int, int] = {}
+        self.last_event: int = drive_fleet(self.fleet, self._on_event)
+
+    def _on_event(self, fleet: CoalitionFleet, t: int) -> None:
+        """Fig. 1's per-event body: batched values, then size-ordered
+        ``UpdateVals`` + Fig. 3 scheduling for every capable coalition."""
+        vals = fleet.values_array(t) if self._vectorize else None
+        max_abs = (
+            int(np.abs(vals).max()) if vals is not None and len(vals) else 0
+        )
+        values_dict: dict[int, int] | None = (
+            None if vals is not None else fleet.values_exact(t)
+        )
+        for group in self.size_groups[1:]:
+            # a coalition's starts at t touch only its own engine and cannot
+            # change any value at t (a job started at t has executed no
+            # parts), so capability and contributions for the whole size
+            # group are fixed before any of its coalitions schedules
+            capable = [
+                m
+                for m in group
+                if (eng := fleet.engine(m)).free_count > 0
+                and eng.has_waiting()
+            ]
+            if not capable:
+                continue
+            phis = (
+                self.solver.phi_scaled_batch(tuple(group), vals, max_abs)
+                if vals is not None
+                else None
+            )
+            for m in capable:
+                phi_scaled = phis[m] if phis is not None else None
+                if phi_scaled is None:  # int64 guard tripped: exact path
+                    if values_dict is None:
+                        # the batch guard tripped but the (exact) values are
+                        # already in hand -- no need to re-query the fleet
+                        values_dict = {0: 0}
+                        values_dict.update(zip(fleet.masks, vals.tolist()))
+                    phi_scaled = update_vals_scaled(m, values_dict)
+                if m == self.grand_mask:
+                    self.last_phi_scaled = dict(phi_scaled)
+                eng = fleet.engine(m)
+                fact = factorial(popcount(m))
+                psis = eng.psis(t)
+                keys = {
+                    u: phi_scaled[u] - fact * psis[u]
+                    for u in iter_members(m)
+                }
+                fill_capacity(fleet, m, keys)
 
     def values_at(self, t: int) -> dict[int, int]:
         """Coalition values at ``t`` (all engines advanced at least to ``t``)."""
-        values = {0: 0}
-        for m in self.nonempty:
-            eng = self.engines[m]
-            if eng.t < t:
-                eng.advance_to(t)
-            values[m] = eng.value(t)
-        return values
+        return self.fleet.values_at(t)
+
+    def engine(self, mask: int):
+        return self.fleet.engine(mask)
 
     def contributions_at(self, t: int) -> list[Fraction]:
         """Exact Shapley contributions φ(u) of the grand coalition at ``t``."""
@@ -204,14 +214,14 @@ class RefScheduler(Scheduler):
         self, workload: Workload, members: Iterable[int] | None = None
     ) -> SchedulerResult:
         """Build the exact fair schedule for the coalition ``members``."""
-        members_t, grand_mask = _members_mask(workload, members)
+        members_t, grand_mask = members_mask(workload, members)
         run = _RefRun(workload, members_t, grand_mask, self.horizon)
         meta: dict = {}
         if self.collect_contributions:
             t_eval = (
                 self.horizon
                 if self.horizon is not None
-                else max(run.last_event, run.engines[grand_mask].t)
+                else max(run.last_event, run.engine(grand_mask).t)
             )
             meta["contributions"] = run.contributions_at(t_eval)
             meta["contributions_time"] = t_eval
@@ -219,7 +229,7 @@ class RefScheduler(Scheduler):
             algorithm=self.name,
             workload=workload,
             members=members_t,
-            schedule=run.engines[grand_mask].schedule(),
+            schedule=run.engine(grand_mask).schedule(),
             horizon=self.horizon,
             meta=meta,
         )
@@ -236,7 +246,7 @@ class RefScheduler(Scheduler):
         resulting coalition values -- the "ideally fair" division of
         ``v(C, t)`` that the REF schedule chases (Definition 3.1).
         """
-        members_t, grand_mask = _members_mask(workload, members)
+        members_t, grand_mask = members_mask(workload, members)
         run = _RefRun(workload, members_t, grand_mask, horizon=t)
         return run.contributions_at(t)
 
@@ -269,29 +279,20 @@ class GeneralRefScheduler(Scheduler):
     def run(
         self, workload: Workload, members: Iterable[int] | None = None
     ) -> SchedulerResult:
-        members_t, grand_mask = _members_mask(workload, members)
+        members_t, grand_mask = members_mask(workload, members)
         util = self.utility
         size_groups = subsets_by_size(grand_mask)
         nonempty = [m for group in size_groups[1:] for m in group]
-        engines = {
-            m: ClusterEngine(
-                workload, list(iter_members(m)), horizon=self.horizon
-            )
-            for m in nonempty
-        }
-        # per-coalition per-org started-job (start, size) pairs
+        fleet = CoalitionFleet(workload, nonempty, horizon=self.horizon)
+        # per-coalition per-org started-job (start, size) pairs; the fleet's
+        # psi_sp ledger cannot serve an arbitrary utility, so values come
+        # from ``util`` over these pairs (exact Fractions)
         pairs: dict[int, dict[int, list[tuple[int, int]]]] = {
             m: {u: [] for u in iter_members(m)} for m in nonempty
         }
-        events = EventQueue(
-            j.release for j in workload.jobs if j.org in set(members_t)
-        )
-        while True:
-            t = events.pop()
-            if t is None or (self.horizon is not None and t >= self.horizon):
-                break
-            for m in nonempty:
-                engines[m].advance_to(t)
+
+        def on_event(fleet: CoalitionFleet, t: int) -> None:
+            fleet.advance_all(t)
             psi_tab = {
                 m: {
                     u: Fraction(util.value(pairs[m][u], t))
@@ -304,7 +305,7 @@ class GeneralRefScheduler(Scheduler):
                 values[m] = sum(psi_tab[m].values(), Fraction(0))
             for group in size_groups[1:]:
                 for m in group:
-                    eng = engines[m]
+                    eng = fleet.engine(m)
                     if eng.free_count == 0 or not eng.has_waiting():
                         continue
                     size = popcount(m)
@@ -324,15 +325,15 @@ class GeneralRefScheduler(Scheduler):
                         u = self._select_distance(
                             eng, util, pairs[m], phi, psi_tab[m], t, size
                         )
-                        entry = eng.start_next(u)
+                        entry = fleet.start_next(m, u)
                         pairs[m][u].append(entry.pair())
-                        events.push(entry.end)
 
+        drive_fleet(fleet, on_event)
         return SchedulerResult(
             algorithm=self.name,
             workload=workload,
             members=members_t,
-            schedule=engines[grand_mask].schedule(),
+            schedule=fleet.engine(grand_mask).schedule(),
             horizon=self.horizon,
             meta={"utility": util.name},
         )

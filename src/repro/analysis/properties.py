@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..core.engine import ClusterEngine
+from ..core.fleet import CoalitionFleet
 from ..core.job import Job
 from ..core.organization import Organization
 from ..core.workload import Workload
@@ -76,16 +77,17 @@ def greedy_value_invariance(
     if any(j.size != 1 for j in workload.jobs):
         raise ValueError("Prop. 5.4 is about unit-size jobs")
     members = list(range(workload.n_orgs))
+    grand_mask = (1 << workload.n_orgs) - 1
     horizon = max(times) if times else 0
     values: list[list[int]] = []
     for policy in policies:
-        engine = ClusterEngine(workload, horizon=horizon + 1)
+        fleet = CoalitionFleet(
+            workload, (grand_mask,), horizon=horizon + 1, track_events=False
+        )
         row = []
         for t in sorted(times):
-            engine.drive(policy, until=t)
-            if engine.t < t:
-                engine.advance_to(t)
-            row.append(engine.value(t))
+            fleet.drive(grand_mask, policy, until=t)
+            row.append(fleet.values_at(t)[grand_mask])
         values.append(row)
     reference = [
         unit_coalition_value(workload, members, t) for t in sorted(times)

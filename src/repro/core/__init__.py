@@ -18,6 +18,7 @@ from .coalition import (
 )
 from .engine import ClusterEngine, RunningJob
 from .events import EventQueue
+from .fleet import CoalitionFleet
 from .job import Job, merge_jobs, sort_jobs, split_job, validate_jobs
 from .organization import Organization
 from .schedule import Schedule, ScheduledJob
@@ -25,6 +26,7 @@ from .workload import Workload, WorkloadStats
 
 __all__ = [
     "Coalition",
+    "CoalitionFleet",
     "ClusterEngine",
     "EventQueue",
     "Job",

@@ -18,6 +18,17 @@ Design notes (see DESIGN.md §2):
   plus an O(#running) pass give :math:`\\psi_{sp}` at any event time in exact
   integer arithmetic.  The same bookkeeping keyed by the *machine owner*
   supports DIRECTCONTR's contribution estimate.
+* **O(1) value ledger**: coalition-total aggregates (completed units and
+  weighted starts, plus running-job start moments) are maintained
+  incrementally, so ``value(t)`` at the current time is a constant-time
+  formula and :class:`repro.core.fleet.CoalitionFleet` can mirror every
+  engine's ledger into numpy arrays.  A ``version`` counter bumps on each
+  value-affecting mutation (start or completion -- releases do not change
+  :math:`\\psi_{sp}`) for the fleet's dirty tracking.
+* **Free machines**: a min-heap with a shadow set and lazy deletion, so the
+  default lowest-id pop stays O(log n) *and* DIRECTCONTR's explicit random
+  machine choice is O(1) instead of the O(n) remove-and-reheapify it used
+  to cost.
 * **Non-clairvoyance**: scheduler-facing accessors never expose the size of
   a running job; sizes become visible only through completion.
 """
@@ -104,7 +115,10 @@ class ClusterEngine:
             mid: o for mid, o in enumerate(owners) if o in set(self.members)
         }
         self.n_machines = len(self.machine_owner)
-        self._free: list[int] = sorted(self.machine_owner)  # min-heap of ids
+        # free machines: min-heap + shadow set with lazy deletion (an id is
+        # free iff it is in the set; the heap may hold stale entries)
+        self._free: list[int] = sorted(self.machine_owner)
+        self._free_set: set[int] = set(self._free)
         heapq.heapify(self._free)
 
         # --- job release stream (members only, canonical order) ----------
@@ -127,6 +141,18 @@ class ClusterEngine:
         # by machine owner (for DIRECTCONTR-style contribution accounting)
         self._done_units_mach = [0] * k
         self._done_wstart_mach = [0] * k
+        # coalition totals for the O(1) value ledger: completed units,
+        # completed weighted starts, and the running jobs' start-moment sums
+        # Σs and Σs² (all running jobs have finish > self.t, so their
+        # psi_sp at self.t is tri(t - s) -- see value()).
+        self._tot_units = 0
+        self._tot_wstart = 0
+        self._run_start_sum = 0
+        self._run_start_sq = 0
+        #: bumped on every value-affecting mutation (start / completion);
+        #: releases leave it untouched.  CoalitionFleet uses this for dirty
+        #: tracking of its vectorized ledger.
+        self.version = 0
 
         self._log: list[ScheduledJob] = []
         self._completed: list[ScheduledJob] = []
@@ -152,6 +178,19 @@ class ClusterEngine:
             return None
         return t
 
+    def has_event_at_or_before(self, t: int) -> bool:
+        """Any unprocessed release or completion at a time ``<= t``?
+
+        Allocation-free (unlike :meth:`next_event_time`) and deliberately
+        horizon-blind: it answers "would :meth:`advance_to` do any work",
+        which is what :class:`repro.core.fleet.CoalitionFleet` asks once
+        per engine per decision time.
+        """
+        if self._stream_pos < len(self._stream):
+            if self._stream[self._stream_pos].release <= t:
+                return True
+        return bool(self._busy) and self._busy[0][0] <= t
+
     def advance_to(self, t: int) -> None:
         """Process all completions and releases at times ``<= t``.
 
@@ -165,6 +204,7 @@ class ClusterEngine:
             run = self._running.pop(machine)
             self._complete(run)
             heapq.heappush(self._free, machine)
+            self._free_set.add(machine)
         while (
             self._stream_pos < len(self._stream)
             and self._stream[self._stream_pos].release <= t
@@ -185,6 +225,11 @@ class ClusterEngine:
         mo = self.machine_owner[run.machine]
         self._done_units_mach[mo] += p
         self._done_wstart_mach[mo] += tri
+        self._tot_units += p
+        self._tot_wstart += tri
+        self._run_start_sum -= s
+        self._run_start_sq -= s * s
+        self.version += 1
         self._completed.append(ScheduledJob(run.start, run.machine, run.job))
 
     # ------------------------------------------------------------------
@@ -192,11 +237,11 @@ class ClusterEngine:
     # ------------------------------------------------------------------
     @property
     def free_count(self) -> int:
-        return len(self._free)
+        return len(self._free_set)
 
     def free_machines(self) -> list[int]:
         """Ids of currently free machines (sorted)."""
-        return sorted(self._free)
+        return sorted(self._free_set)
 
     def has_waiting(self) -> bool:
         """True when any member has a released, unstarted job."""
@@ -299,8 +344,44 @@ class ClusterEngine:
         return out
 
     def value(self, t: int | None = None) -> int:
-        """Coalition value ``v(C, t)`` = total :math:`\\psi_{sp}` (paper §2)."""
+        """Coalition value ``v(C, t)`` = total :math:`\\psi_{sp}` (paper §2).
+
+        O(1) at the current time: every running job has ``finish > self.t``
+        (completions at or before the current time have been processed), so
+        its executed part at ``t = self.t`` is ``c = t - start < size`` and
+        its psi_sp is the triangular sum ``c*(c+1)/2``; summing over running
+        jobs needs only ``Σstart`` and ``Σstart²``.
+        """
+        if t is None or t == self.t:
+            t = self.t
+            r = len(self._running)
+            return (
+                self._tot_units * t
+                - self._tot_wstart
+                + (
+                    r * (t * t + t)
+                    - self._run_start_sum * (2 * t + 1)
+                    + self._run_start_sq
+                )
+                // 2
+            )
         return sum(self.psis(t))
+
+    def ledger(self) -> tuple[int, int, int, int, int]:
+        """The O(1) value aggregates ``(units, wstart, n_running, Σs, Σs²)``.
+
+        Exact Python ints; :class:`repro.core.fleet.CoalitionFleet` mirrors
+        them into int64 numpy columns so ``v(C', t)`` for *all* coalitions is
+        a handful of array ops.  Valid for evaluation at the engine's current
+        time (see :meth:`value`).
+        """
+        return (
+            self._tot_units,
+            self._tot_wstart,
+            len(self._running),
+            self._run_start_sum,
+            self._run_start_sq,
+        )
 
     # ------------------------------------------------------------------
     # actions
@@ -316,20 +397,28 @@ class ClusterEngine:
         """
         if not self._pending[org]:
             raise ValueError(f"org {org} has no waiting job at t={self.t}")
-        if not self._free:
+        if not self._free_set:
             raise ValueError(f"no free machine at t={self.t}")
         if machine is None:
-            machine = heapq.heappop(self._free)
+            # lazy deletion: skip heap entries whose machine was taken by an
+            # explicit-machine start since it was pushed
+            while True:
+                machine = heapq.heappop(self._free)
+                if machine in self._free_set:
+                    break
+            self._free_set.discard(machine)
         else:
-            if machine not in self._free:
+            if machine not in self._free_set:
                 raise ValueError(f"machine {machine} is not free at t={self.t}")
-            self._free.remove(machine)
-            heapq.heapify(self._free)
+            self._free_set.discard(machine)  # heap entry goes stale, O(1)
         job = self._pending[org].popleft()
         self._n_waiting -= 1
         run = RunningJob(job, self.t, machine)
         self._running[machine] = run
         heapq.heappush(self._busy, (run.finish, machine))
+        self._run_start_sum += self.t
+        self._run_start_sq += self.t * self.t
+        self.version += 1
         entry = ScheduledJob(self.t, machine, job)
         self._log.append(entry)
         return entry
@@ -350,7 +439,7 @@ class ClusterEngine:
             if t is None or (until is not None and t > until):
                 return
             self.advance_to(t)
-            while self._free and self._n_waiting:
+            while self._free_set and self._n_waiting:
                 self.start_next(select(self))
 
     def is_idle(self) -> bool:

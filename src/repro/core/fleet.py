@@ -1,0 +1,372 @@
+"""CoalitionFleet: the shared per-coalition value oracle (DESIGN.md §2.4).
+
+Every fair scheduler in the paper -- REF (Figs. 1/3), its general-utility
+variant, RAND (Fig. 6) and DIRECTCONTR (Fig. 9) -- needs the same primitive:
+*advance a family of per-coalition cluster simulations to time t and read
+their values v(C', t)*.  This module owns that primitive once, so the
+algorithm modules are thin policies:
+
+* one :class:`~repro.core.engine.ClusterEngine` per registered coalition
+  bitmask, advanced in lockstep (or driven lazily by a per-coalition greedy
+  policy, as RAND's sampled coalitions require);
+* one shared :class:`~repro.core.events.EventQueue` seeded with the release
+  times of every covered organization's jobs; engine starts push their
+  completion times back into it (:meth:`CoalitionFleet.start_next`);
+* a **vectorized psi_sp ledger**: each engine's O(1) value aggregates
+  ``(units, wstart, n_running, Σstart, Σstart²)`` are mirrored into int64
+  numpy columns, so :meth:`values_at` evaluates *all* coalition values at an
+  event time with a handful of array ops instead of ``2^k`` Python loops of
+  ``O(k + #running)`` each.
+
+Dirty tracking: an engine's :attr:`~repro.core.engine.ClusterEngine.version`
+counter bumps only on value-affecting mutations (job starts / completions),
+so a ledger row is re-read only when its coalition processed such an event
+since the last query -- releases and no-op advances cost nothing.
+
+Exactness: the ledger is int64 with an overflow guard.  Aggregates are
+checked when mirrored, and each query bounds the largest possible
+intermediate from running column maxima; if either check trips, the query
+falls back to the engines' exact unbounded-int path
+(:meth:`~repro.core.engine.ClusterEngine.value`), so no scheduling decision
+is ever affected by wraparound.  Property tests verify both paths agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .coalition import iter_members
+from .engine import ClusterEngine
+from .events import EventQueue
+from .schedule import ScheduledJob
+from .workload import Workload
+
+__all__ = ["CoalitionFleet"]
+
+#: Magnitude cap for a single mirrored ledger scalar.  Chosen so the query
+#: guard (a sum of five products of a scalar with ~t², see values_array) can
+#: certify the full expression fits in signed int64.
+_SCALAR_CAP = 1 << 61
+
+#: Cap for the certified worst-case intermediate of one vectorized query.
+_QUERY_CAP = 1 << 62
+
+SelectFn = Callable[[ClusterEngine], int]
+
+
+class CoalitionFleet:
+    """Owns the engines for a set of coalition masks and serves batched
+    coalition values at event times.
+
+    Parameters
+    ----------
+    workload:
+        The shared problem instance.
+    masks:
+        Initial coalition bitmasks (nonzero).  More can be registered later
+        with :meth:`add_mask` (e.g. the lazily-growing cache of
+        :class:`repro.shapley.games.SchedulingGame`).
+    horizon:
+        Optional stop time, forwarded to every engine: events at
+        ``t >= horizon`` are not processed.
+    track_events:
+        Seed the shared :attr:`events` queue with covered organizations'
+        job releases (and accept completion pushes).  Pass ``False`` for
+        fleets driven by a per-engine loop or used purely as a value
+        oracle, where the queue would only accumulate unpopped entries.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        masks: Iterable[int] = (),
+        *,
+        horizon: int | None = None,
+        track_events: bool = True,
+    ) -> None:
+        self.workload = workload
+        self.horizon = horizon
+        self._track_events = track_events
+        self._engines: dict[int, ClusterEngine] = {}
+        self._order: list[int] = []
+        #: shared decision-time queue: job releases of covered orgs, plus
+        #: completion times of every start made through the fleet
+        self.events = EventQueue()
+        self._seeded_orgs: set[int] = set()
+        # ledger columns (int64, grown geometrically)
+        cap = 8
+        self._units = np.zeros(cap, np.int64)
+        self._wstart = np.zeros(cap, np.int64)
+        self._rcount = np.zeros(cap, np.int64)
+        self._rsum = np.zeros(cap, np.int64)
+        self._rsq = np.zeros(cap, np.int64)
+        self._seen = np.full(cap, -1, np.int64)
+        # running column maxima (exact Python ints; grow monotonically, so
+        # they are conservative bounds for the overflow guard)
+        self._mx_units = 0
+        self._mx_wstart = 0
+        self._mx_rcount = 0
+        self._mx_rsum = 0
+        self._mx_rsq = 0
+        #: permanently False once any engine scalar exceeds the int64 cap
+        self._int64_ok = True
+        for m in masks:
+            self.add_mask(m)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def masks(self) -> tuple[int, ...]:
+        """Registered coalition masks, in registration order."""
+        return tuple(self._order)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._engines
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def engine(self, mask: int) -> ClusterEngine:
+        """The engine simulating coalition ``mask``."""
+        return self._engines[mask]
+
+    def add_mask(self, mask: int) -> ClusterEngine:
+        """Register a coalition (idempotent) and return its engine.
+
+        Release times of newly covered organizations are pushed into the
+        shared event queue.
+        """
+        if mask in self._engines:
+            return self._engines[mask]
+        if mask <= 0:
+            raise ValueError("coalition mask must be a nonzero bitmask")
+        members = list(iter_members(mask))
+        eng = ClusterEngine(self.workload, members, horizon=self.horizon)
+        row = len(self._order)
+        if row == len(self._seen):
+            self._grow()
+        self._engines[mask] = eng
+        self._order.append(mask)
+        if self._track_events:
+            new_orgs = [u for u in members if u not in self._seeded_orgs]
+            if new_orgs:
+                self._seeded_orgs.update(new_orgs)
+                new_set = set(new_orgs)
+                for j in self.workload.jobs:
+                    if j.org in new_set:
+                        self.events.push(j.release)
+        return eng
+
+    def _grow(self) -> None:
+        cap = 2 * len(self._seen)
+        for name in ("_units", "_wstart", "_rcount", "_rsum", "_rsq", "_seen"):
+            old = getattr(self, name)
+            new = np.full(cap, -1, np.int64) if name == "_seen" else np.zeros(
+                cap, np.int64
+            )
+            new[: len(old)] = old
+            setattr(self, name, new)
+
+    # ------------------------------------------------------------------
+    # event iteration
+    # ------------------------------------------------------------------
+    def next_decision(self) -> int | None:
+        """Pop the next decision time from the shared queue (deduplicated),
+        or ``None`` when exhausted or at/after the horizon."""
+        t = self.events.pop()
+        if t is None:
+            return None
+        if self.horizon is not None and t >= self.horizon:
+            return None
+        return t
+
+    # ------------------------------------------------------------------
+    # lockstep / lazy advancement
+    # ------------------------------------------------------------------
+    def advance_all(self, t: int) -> None:
+        """Process every engine's events up to ``t`` (lockstep advance).
+
+        Engines with no pending event at or before ``t`` are left lazily
+        behind: with no release or completion in ``(engine.t, t]`` their
+        scheduler-visible state and their value ledger are already exact at
+        ``t`` (psi_sp only changes through starts and completions, and the
+        greedy invariant guarantees they have no free-machine/waiting-job
+        pair to act on).
+        """
+        self._sync(t, None)
+
+    def drive(self, mask: int, select: SelectFn, until: int) -> None:
+        """Drive one engine's own greedy event loop to ``until`` (events at
+        ``until`` included), then align its clock with ``until``."""
+        eng = self._engines[mask]
+        eng.drive(select, until=until)
+        if eng.t < until:
+            eng.advance_to(until)
+
+    def drive_all(self, select: SelectFn, until: int) -> None:
+        """Drive every engine's own greedy loop to ``until`` (RAND's lazily
+        tracked sampled coalitions), then align clocks with ``until``."""
+        self._sync(until, select)
+
+    def _sync(self, t: int, select: SelectFn | None) -> list[int]:
+        """Bring every engine to ``t`` (advance, or drive with ``select``)
+        in one pass and return the row indices of engines already *past*
+        ``t`` -- the retrospective rows :meth:`values_array` must value
+        from their start logs.  Horizon capping is not needed here:
+        decision times already stop before the horizon, and processing a
+        completion/release never changes psi_sp.
+        """
+        ahead: list[int] = []
+        for i, mask in enumerate(self._order):
+            eng = self._engines[mask]
+            if select is None:
+                if eng.has_event_at_or_before(t):
+                    eng.advance_to(t)
+                elif eng.t > t:
+                    ahead.append(i)
+            elif eng.t <= t:
+                eng.drive(select, until=t)
+                if eng.t < t:
+                    eng.advance_to(t)
+            else:
+                ahead.append(i)
+        return ahead
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def start_next(
+        self, mask: int, org: int, machine: int | None = None
+    ) -> ScheduledJob:
+        """Start ``org``'s FIFO-head job on coalition ``mask``'s cluster and
+        push the completion time into the shared event queue (when event
+        tracking is on)."""
+        entry = self._engines[mask].start_next(org, machine=machine)
+        if self._track_events:
+            self.events.push(entry.end)
+        return entry
+
+    # ------------------------------------------------------------------
+    # batched coalition values
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Mirror dirty engines' ledgers into the numpy columns."""
+        seen = self._seen
+        for i, mask in enumerate(self._order):
+            eng = self._engines[mask]
+            v = eng.version
+            if v == seen[i]:
+                continue
+            units, wstart, rcount, rsum, rsq = eng.ledger()
+            if units >= _SCALAR_CAP or wstart >= _SCALAR_CAP or rsq >= _SCALAR_CAP:
+                self._int64_ok = False
+            else:
+                self._units[i] = units
+                self._wstart[i] = wstart
+                self._rcount[i] = rcount
+                self._rsum[i] = rsum
+                self._rsq[i] = rsq
+                if units > self._mx_units:
+                    self._mx_units = units
+                if wstart > self._mx_wstart:
+                    self._mx_wstart = wstart
+                if rcount > self._mx_rcount:
+                    self._mx_rcount = rcount
+                if rsum > self._mx_rsum:
+                    self._mx_rsum = rsum
+                if rsq > self._mx_rsq:
+                    self._mx_rsq = rsq
+            seen[i] = v
+
+    def _vector_safe(self, t: int) -> bool:
+        """Certify that the vectorized int64 query at ``t`` cannot overflow."""
+        if not self._int64_ok or t < 0:
+            return False
+        tt = t * t + t
+        # the scalars t*t+t and 2t+1 are materialized as int64 inside the
+        # numpy expression even when every ledger column is zero, so they
+        # must fit on their own
+        if tt >= _QUERY_CAP:
+            return False
+        bound = (
+            self._mx_units * t
+            + self._mx_wstart
+            + self._mx_rcount * tt
+            + self._mx_rsum * (2 * t + 1)
+            + self._mx_rsq
+        )
+        return bound < _QUERY_CAP
+
+    def values_array(
+        self, t: int, *, select: SelectFn | None = None
+    ) -> "np.ndarray | None":
+        """Coalition values at ``t`` as an int64 array aligned with
+        :attr:`masks`, or ``None`` when the overflow guard trips (use
+        :meth:`values_at`, which falls back to exact arithmetic).
+
+        Every engine is brought to ``t`` first: driven by ``select`` when
+        given (its own greedy policy, RAND-style), otherwise advanced in
+        lockstep.  An engine lazily left at ``engine.t < t`` has no start or
+        completion in ``(engine.t, t]``, so its ledger row evaluates exactly
+        at ``t``; engines already *past* ``t`` (retrospective queries) are
+        valued exactly from their start logs instead.
+        """
+        ahead = self._sync(t, select)
+        if not self._int64_ok:  # permanent exact mode: skip the dead mirror
+            return None
+        self._refresh()
+        if not self._vector_safe(t):
+            return None
+        n = len(self._order)
+        rows = slice(0, n)
+        vals = (
+            self._units[rows] * t
+            - self._wstart[rows]
+            + (
+                self._rcount[rows] * (t * t + t)
+                - self._rsum[rows] * (2 * t + 1)
+                + self._rsq[rows]
+            )
+            // 2
+        )
+        for i in ahead:  # retrospective rows: value from the start log
+            exact = self._engines[self._order[i]].value(t)
+            if abs(exact) >= _SCALAR_CAP:
+                return None
+            vals[i] = exact
+        return vals
+
+    def values_at(
+        self, t: int, *, select: SelectFn | None = None
+    ) -> dict[int, int]:
+        """Coalition values ``{mask: v(C', t)}`` for every registered mask,
+        plus the empty coalition ``{0: 0}`` -- exactly the table the REF
+        recursion's ``UpdateVals`` consumes."""
+        arr = self.values_array(t, select=select)
+        values: dict[int, int] = {0: 0}
+        if arr is not None:
+            values.update(zip(self._order, arr.tolist()))
+            return values
+        # exact fallback: unbounded Python ints via each engine
+        for mask in self._order:
+            values[mask] = self._engines[mask].value(t)
+        return values
+
+    def values_exact(
+        self, t: int, *, select: SelectFn | None = None
+    ) -> dict[int, int]:
+        """Like :meth:`values_at` but always on the engines' unbounded-int
+        path, skipping the numpy ledger entirely.  With the engines' O(1)
+        value formula this wins for small fleets (few dozen coalitions),
+        where per-query array overhead exceeds the loop it replaces."""
+        if select is not None:
+            self.drive_all(select, t)
+        else:
+            self.advance_all(t)
+        values: dict[int, int] = {0: 0}
+        for mask in self._order:
+            values[mask] = self._engines[mask].value(t)
+        return values

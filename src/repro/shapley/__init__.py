@@ -24,9 +24,11 @@ from .sampling import (
     sample_orderings,
     shapley_sample,
 )
+from .vectorized import ScaledShapleySolver
 
 __all__ = [
     "SampledPrefixes",
+    "ScaledShapleySolver",
     "SchedulingGame",
     "TableGame",
     "check_additivity",

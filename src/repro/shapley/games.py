@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.coalition import iter_members, iter_subsets
 from ..core.engine import ClusterEngine
+from ..core.fleet import CoalitionFleet
 from ..core.workload import Workload
 
 __all__ = [
@@ -76,7 +77,11 @@ class SchedulingGame:
         exponential but the exact Definition 3.1 semantics).
 
     Values are cached per coalition; with ``policy="fifo"`` and unit-size
-    jobs the vectorized Lindley backend is used automatically.
+    jobs the vectorized Lindley backend is used automatically, and general
+    sizes are simulated on a transient
+    :class:`~repro.core.fleet.CoalitionFleet` so :meth:`values_for` reads a
+    whole batch of fresh coalitions from one vectorized ledger query (only
+    the integer values are retained -- engines are discarded once cached).
     """
 
     def __init__(self, workload: Workload, t: int, policy: str = "fifo"):
@@ -94,14 +99,19 @@ class SchedulingGame:
             self._cache[mask] = self._compute(mask)
         return self._cache[mask]
 
+    def _fifo_values(self, masks: "list[int]") -> dict[int, int]:
+        """Engine-backed fifo values for ``masks`` via a transient fleet."""
+        fleet = CoalitionFleet(
+            self.workload, masks, horizon=self.t, track_events=False
+        )
+        return fleet.values_at(self.t, select=_fifo_select)
+
     def _compute(self, mask: int) -> int:
         members = list(iter_members(mask))
         if self.policy == "fifo":
             if self._unit_sizes:
                 return unit_coalition_value(self.workload, members, self.t)
-            engine = ClusterEngine(self.workload, members, horizon=self.t)
-            engine.drive(_fifo_select, until=self.t)
-            return engine.value(self.t)
+            return self._fifo_values([mask])[mask]
         # policy == "fair": run the recursive fair algorithm on the
         # restricted workload (lazy import to avoid a package cycle).
         from ..algorithms.ref import RefScheduler
@@ -112,7 +122,16 @@ class SchedulingGame:
         return sum(result.utilities(self.t))
 
     def values_for(self, masks: Iterable[int]) -> dict[int, int]:
-        """Batch evaluation (shares the cache)."""
+        """Batch evaluation (shares the cache).
+
+        With the engine-backed fifo policy, all uncached coalitions are
+        simulated on one transient fleet and read in a single vectorized
+        ledger query.
+        """
+        masks = list(masks)
+        fresh = [m for m in masks if m not in self._cache and m != 0]
+        if fresh and self.policy == "fifo" and not self._unit_sizes:
+            self._cache.update(self._fifo_values(fresh))
         return {m: self(m) for m in masks}
 
 

@@ -77,8 +77,16 @@ class SampledPrefixes:
     """
 
     def __init__(self, k: int, orderings: np.ndarray):
-        if orderings.ndim != 2 or orderings.shape[1] != k:
-            raise ValueError("orderings must be an (n, k) array")
+        """``k`` bounds the player ids; each row of ``orderings`` is one
+        sampled joining order of the participating players (all ``k`` of
+        them, or any fixed subcoalition -- players that never appear simply
+        collect zero marginal samples)."""
+        if orderings.ndim != 2 or orderings.shape[1] > k:
+            raise ValueError("orderings must be an (n, <=k) array")
+        if orderings.size and not (
+            0 <= int(orderings.min()) and int(orderings.max()) < k
+        ):
+            raise ValueError("player ids must be in [0, k)")
         self.k = k
         self.n = int(orderings.shape[0])
         pairs: list[list[tuple[int, int]]] = [[] for _ in range(k)]

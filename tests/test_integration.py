@@ -15,7 +15,8 @@ from repro.algorithms import (
     RoundRobinScheduler,
     UtFairShareScheduler,
 )
-from repro.algorithms.ref import _RefRun, _members_mask
+from repro.algorithms.base import members_mask
+from repro.algorithms.ref import _RefRun
 from repro.core.engine import ClusterEngine
 from repro.sim.metrics import avg_delay, unfairness
 
@@ -46,14 +47,17 @@ class TestRefSelfConsistency:
     def test_subcoalition_schedules_match_standalone_runs(self, seed):
         rng = np.random.default_rng(seed)
         wl = random_workload(rng, n_orgs=3, n_jobs=12, max_release=10)
-        members, grand = _members_mask(wl, None)
+        members, grand = members_mask(wl, None)
         run = _RefRun(wl, members, grand, horizon=None)
-        for mask, engine in run.engines.items():
+        for mask in run.fleet.masks:
             if mask == grand:
                 continue
             sub_members = [u for u in members if mask >> u & 1]
             standalone = RefScheduler().run(wl, members=sub_members)
-            assert engine.schedule() == standalone.schedule, (seed, mask)
+            assert run.fleet.engine(mask).schedule() == standalone.schedule, (
+                seed,
+                mask,
+            )
 
 
 class TestPortfolioInvariants:
