@@ -1,0 +1,98 @@
+"""Small-coalition dispatch guard (the BENCH_fleet.json k=4 regression).
+
+PR 1's vectorized psi_sp ledger made REF k=8 2.5x faster but left k=4 at
+0.94x of the seed: with <= 15 subcoalitions, per-event numpy overhead
+exceeds the Python loops it replaces.  REF therefore dispatches on
+``VECTORIZE_MIN_K``: below it the exact big-int path (with the cached
+``_update_terms`` subset decomposition) runs, at or above it the ledger
+does.  These benchmarks pin the dispatch to the right side of the
+crossover on the machine actually running them:
+
+* the k=4 bench instance must be no slower on the chosen (exact) path
+  than with vectorization forced on;
+* the k=8 bench instance must be no slower on the chosen (vectorized)
+  path than with vectorization forced off.
+
+Both comparisons are measured back-to-back in-process (best-of-N), so the
+assertions are about the *dispatch decision*, not about absolute machine
+speed; a generous 15% slack absorbs timer noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ref as ref_mod
+from repro.algorithms.ref import RefScheduler
+
+from .bench_engine import ref_k8_workload
+from tests.conftest import random_workload
+
+#: Noise allowance for the paired timing comparisons.
+SLACK = 1.15
+
+
+def k4_workload():
+    """The BENCH_fleet.json k=4 instance (test_ref_event_cost's shape)."""
+    rng = np.random.default_rng(3)
+    return random_workload(
+        rng, n_orgs=4, n_jobs=40, max_release=60,
+        sizes=(1, 2, 5), machine_counts=[1, 1, 1, 1],
+    )
+
+
+def best_of(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _timed_with_threshold(workload, threshold: int, monkeypatch) -> float:
+    monkeypatch.setattr(ref_mod, "VECTORIZE_MIN_K", threshold)
+    RefScheduler().run(workload)  # warm caches before timing
+    return best_of(lambda: RefScheduler().run(workload))
+
+
+def test_k4_exact_dispatch_beats_forced_vectorization(benchmark, monkeypatch):
+    wl = k4_workload()
+    chosen = _timed_with_threshold(wl, ref_mod.VECTORIZE_MIN_K, monkeypatch)
+    forced = _timed_with_threshold(wl, 0, monkeypatch)
+    benchmark.extra_info.update({"exact_s": chosen, "vectorized_s": forced})
+    benchmark(lambda: None)  # timings recorded above; keep the fixture happy
+    assert chosen <= forced * SLACK, (
+        f"k=4 pays vectorization overhead: exact {chosen:.5f}s vs "
+        f"forced-vectorized {forced:.5f}s"
+    )
+
+
+def test_k8_vectorized_dispatch_beats_forced_exact(benchmark, monkeypatch):
+    wl = ref_k8_workload()
+    chosen = _timed_with_threshold(wl, ref_mod.VECTORIZE_MIN_K, monkeypatch)
+    forced = _timed_with_threshold(wl, 99, monkeypatch)
+    benchmark.extra_info.update({"vectorized_s": chosen, "exact_s": forced})
+    benchmark(lambda: None)
+    assert chosen <= forced * SLACK, (
+        f"k=8 regressed below the exact path: vectorized {chosen:.4f}s vs "
+        f"forced-exact {forced:.4f}s"
+    )
+
+
+def test_schedules_identical_across_dispatch(monkeypatch):
+    """The dispatch is a pure performance choice: both paths must produce
+    the identical REF schedule on both bench instances."""
+    for wl in (k4_workload(), ref_k8_workload()):
+        monkeypatch.setattr(ref_mod, "VECTORIZE_MIN_K", 0)
+        vectorized = RefScheduler().run(wl).schedule
+        monkeypatch.setattr(ref_mod, "VECTORIZE_MIN_K", 99)
+        exact = RefScheduler().run(wl).schedule
+        assert list(vectorized) == list(exact)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -71,15 +71,29 @@ def measure() -> dict:
     ref_k8 = best_of(lambda: RefScheduler().run(wl8))
     ref_k4 = best_of(lambda: RefScheduler().run(wl4))
     engine_drive = best_of(drive_engine)
+    # the k=4 dispatch guard: with vectorization forced on, the same
+    # instance must not beat the exact small-k path REF chooses (see
+    # benchmarks/bench_smallk.py for the asserting version)
+    from repro.algorithms import ref as ref_mod
+
+    default_threshold = ref_mod.VECTORIZE_MIN_K
+    try:
+        ref_mod.VECTORIZE_MIN_K = 0
+        ref_k4_vectorized = best_of(lambda: RefScheduler().run(wl4))
+    finally:
+        ref_mod.VECTORIZE_MIN_K = default_threshold
     return {
         "seed": SEED_BASELINES,
         "fleet": {
             "ref_k8_seconds": round(ref_k8, 4),
             "ref_k4_seconds": round(ref_k4, 4),
+            "ref_k4_forced_vectorized_seconds": round(ref_k4_vectorized, 4),
             "engine_drive_seconds": round(engine_drive, 4),
         },
         "speedup_ref_k8": round(SEED_BASELINES["ref_k8_seconds"] / ref_k8, 2),
         "speedup_ref_k4": round(SEED_BASELINES["ref_k4_seconds"] / ref_k4, 2),
+        "smallk_dispatch_ok": bool(ref_k4 <= ref_k4_vectorized * 1.15),
+        "vectorize_min_k": default_threshold,
         "python": platform.python_version(),
         "machine": platform.machine(),
     }

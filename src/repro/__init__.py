@@ -53,6 +53,12 @@ from .shapley import (
     shapley_exact,
     shapley_sample,
 )
+from .experiments import (
+    ScenarioSpec,
+    list_scenarios,
+    run_pipeline,
+    scenario_spec,
+)
 from .sim import avg_delay, compare_algorithms, run_schedule, unfairness
 from .utility import (
     FlowTimeUtility,
@@ -81,6 +87,7 @@ __all__ = [
     "RandScheduler",
     "RefScheduler",
     "RoundRobinScheduler",
+    "ScenarioSpec",
     "Schedule",
     "ScheduledJob",
     "Scheduler",
@@ -94,10 +101,13 @@ __all__ = [
     "avg_delay",
     "compare_algorithms",
     "hoeffding_samples",
+    "list_scenarios",
     "load_swf",
     "make_trace",
     "psi_sp",
+    "run_pipeline",
     "run_schedule",
+    "scenario_spec",
     "shapley_exact",
     "shapley_sample",
     "unfairness",

@@ -41,6 +41,7 @@ is :class:`GeneralRefScheduler`.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from math import factorial
 from typing import Iterable
 
@@ -71,8 +72,44 @@ __all__ = ["RefScheduler", "GeneralRefScheduler", "update_vals_scaled"]
 
 #: Coalition size from which REF uses the numpy value/contribution path;
 #: below it the per-event array overhead exceeds the Python loops it
-#: replaces (crossover measured in BENCH_fleet.json's instances).
+#: replaces (crossover measured in BENCH_fleet.json's instances; the
+#: dispatch itself is guarded by ``benchmarks/bench_smallk.py`` and the
+#: ``speedup_ref_k4`` field of BENCH_fleet.json).
 VECTORIZE_MIN_K = 5
+
+#: Largest coalition whose ``UpdateVals`` subset decomposition is cached.
+#: A mask of size s has 3^s (weight, subset, member) terms, so both the
+#: size cap and the LRU bound below matter: the small-k exact dispatch
+#: only ever sees masks of size < VECTORIZE_MIN_K, but the vectorized
+#: path's overflow fallback can route size<=cap subcoalitions of an
+#: arbitrarily large grand coalition through here, and without eviction
+#: those would accumulate for the process lifetime.  512 size-6 masks
+#: bound the cache at ~512 * 3^6 small tuples (a few tens of MB worst
+#: case); bigger masks use the uncached loop.
+_TERMS_MAX_K = 6
+
+
+@lru_cache(maxsize=512)
+def _update_terms(
+    mask: int,
+) -> tuple[tuple[int, int, tuple[tuple[int, int], ...]], ...]:
+    """The Eq. 1 subset sum of ``mask``, flattened and cached: one
+    ``(weight, sub, ((member, sub_without_member), ...))`` entry per
+    nonempty subcoalition.  Pure combinatorics — independent of any
+    workload — so the cache is shared by every run in the process."""
+    weights = scaled_shapley_weights(popcount(mask))
+    terms = []
+    for sub in iter_subsets(mask):
+        if sub == 0:
+            continue
+        terms.append(
+            (
+                weights[popcount(sub)],
+                sub,
+                tuple((u, sub ^ (1 << u)) for u in iter_members(sub)),
+            )
+        )
+    return tuple(terms)
 
 
 def update_vals_scaled(mask: int, values: dict[int, int]) -> dict[int, int]:
@@ -83,10 +120,20 @@ def update_vals_scaled(mask: int, values: dict[int, int]) -> dict[int, int]:
     ``(|Csub|-1)! (|mask|-|Csub|)! * (v[Csub] - v[Csub \\ {u}])``.
 
     ``values`` must contain every submask of ``mask`` (and 0).
+
+    This is REF's small-k hot path (below :data:`VECTORIZE_MIN_K` the
+    numpy batch costs more than it saves), so for ``|mask| <=``
+    :data:`_TERMS_MAX_K` the subset/weight/member decomposition comes from
+    the :func:`_update_terms` cache instead of being re-derived per event.
     """
-    size = popcount(mask)
-    weights = scaled_shapley_weights(size)
     phi = {u: 0 for u in iter_members(mask)}
+    if popcount(mask) <= _TERMS_MAX_K:
+        for w, sub, members in _update_terms(mask):
+            v_sub = values[sub]
+            for u, without in members:
+                phi[u] += w * (v_sub - values[without])
+        return phi
+    weights = scaled_shapley_weights(popcount(mask))
     for sub in iter_subsets(mask):
         if sub == 0:
             continue
@@ -116,23 +163,32 @@ class _RefRun:
         self.size_groups = subsets_by_size(grand_mask)
         self.nonempty = [m for group in self.size_groups[1:] for m in group]
         self.fleet = CoalitionFleet(workload, self.nonempty, horizon=horizon)
-        self.solver = ScaledShapleySolver(
-            {m: i for i, m in enumerate(self.fleet.masks)}
-        )
         self._vectorize = popcount(grand_mask) >= VECTORIZE_MIN_K
+        # the coefficient-matrix solver only serves the numpy path; below
+        # the dispatch threshold its construction would be pure overhead
+        self.solver = (
+            ScaledShapleySolver({m: i for i, m in enumerate(self.fleet.masks)})
+            if self._vectorize
+            else None
+        )
         self.last_phi_scaled: dict[int, int] = {}
         self.last_event: int = drive_fleet(self.fleet, self._on_event)
 
     def _on_event(self, fleet: CoalitionFleet, t: int) -> None:
         """Fig. 1's per-event body: batched values, then size-ordered
         ``UpdateVals`` + Fig. 3 scheduling for every capable coalition."""
-        vals = fleet.values_array(t) if self._vectorize else None
-        max_abs = (
-            int(np.abs(vals).max()) if vals is not None and len(vals) else 0
-        )
-        values_dict: dict[int, int] | None = (
-            None if vals is not None else fleet.values_exact(t)
-        )
+        vals = None
+        max_abs = 0
+        if self._vectorize:
+            vals = fleet.values_array(t)
+            if vals is not None and len(vals):
+                max_abs = int(np.abs(vals).max())
+        else:
+            fleet.advance_all(t)
+        # exact values are computed lazily, once, at the first capable
+        # coalition: a decision time with no free-machine/waiting-job pair
+        # anywhere (a pure release or completion) costs no value query
+        values_dict: dict[int, int] | None = None
         for group in self.size_groups[1:]:
             # a coalition's starts at t touch only its own engine and cannot
             # change any value at t (a job started at t has executed no
@@ -146,6 +202,8 @@ class _RefRun:
             ]
             if not capable:
                 continue
+            if vals is None and values_dict is None:
+                values_dict = fleet.values_exact(t)
             phis = (
                 self.solver.phi_scaled_batch(tuple(group), vals, max_abs)
                 if vals is not None

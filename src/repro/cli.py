@@ -1,17 +1,23 @@
 """Command-line interface: regenerate the paper's artifacts from a shell.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
 
-    python -m repro figure2           # Fig. 2 worked example (exact)
-    python -m repro figure7           # Fig. 7 utilization example (exact)
-    python -m repro gap               # Theorem 5.3 inapproximability gap
-    python -m repro gadget 1,2 2      # Theorem 5.1 SUBSETSUM decoding
-    python -m repro demo              # quick consortium comparison
-    python -m repro table1 [--duration D --repeats R --full]
-    python -m repro table2 [...]
-    python -m repro figure10 [--orgs 2,3,4,5]
+    repro figure2           # Fig. 2 worked example (exact)
+    repro figure7           # Fig. 7 utilization example (exact)
+    repro gap               # Theorem 5.3 inapproximability gap
+    repro gadget 1,2 2      # Theorem 5.1 SUBSETSUM decoding
+    repro demo              # quick consortium comparison
+    repro table1 [--duration D --repeats R --workers N]
+    repro table2 [...]
+    repro figure10 [--orgs 2,3,4,5]
+    repro scenarios         # list the scenario registry
+    repro run NAME [--workers N --cache-dir DIR ...]   # any scenario
 
-Every command prints the paper-layout output used in EXPERIMENTS.md.
+``run`` executes any registered scenario (``repro scenarios`` lists them)
+through the experiment pipeline: instances fan out over ``--workers``
+processes, checkpoint to ``--cache-dir``, and a re-run resumes instead of
+recomputing.  Every command prints the paper-layout output used in
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -22,6 +28,21 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="instance fan-out over worker processes (results identical)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="JSONL instance checkpoint directory (enables resume)",
+    )
+    p.add_argument(
+        "--no-resume", action="store_true",
+        help="recompute even when the checkpoint already has instances",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,11 +73,42 @@ def build_parser() -> argparse.ArgumentParser:
         t.add_argument("--duration", type=int, default=dur)
         t.add_argument("--repeats", type=int, default=reps)
         t.add_argument("--seed", type=int, default=0)
+        _add_pipeline_flags(t)
 
     f10 = sub.add_parser("figure10", help="unfairness vs #organizations")
     f10.add_argument("--orgs", default="2,3,4,5")
     f10.add_argument("--duration", type=int, default=3000)
     f10.add_argument("--repeats", type=int, default=2)
+    _add_pipeline_flags(f10)
+
+    sub.add_parser("scenarios", help="list the scenario registry")
+
+    run = sub.add_parser(
+        "run", help="run any registered scenario through the pipeline"
+    )
+    run.add_argument("scenario", help="a name from `repro scenarios`")
+    run.add_argument("--traces", default=None,
+                     help="comma-separated trace list override")
+    run.add_argument("--orgs", type=int, default=None, dest="n_orgs",
+                     help="fixed organization count (clears any org-count "
+                          "sweep axis the scenario declares)")
+    run.add_argument("--org-counts", default=None, dest="org_counts",
+                     help="comma-separated org-count sweep axis, e.g. 2,4,8")
+    run.add_argument("--duration", type=int, default=None)
+    run.add_argument("--repeats", type=int, default=None, dest="n_repeats")
+    run.add_argument("--scale", type=float, default=None)
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--machine-dist", default=None,
+                     choices=("zipf", "uniform"), dest="machine_dist")
+    run.add_argument("--portfolio", default=None,
+                     help="algorithm portfolio name (default from scenario)")
+    run.add_argument("--metrics", default=None,
+                     help="comma-separated metric names")
+    run.add_argument("--swf", default=None, dest="swf_path",
+                     help="SWF file path (swf-family scenarios)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-instance progress lines")
+    _add_pipeline_flags(run)
     return parser
 
 
@@ -147,26 +199,101 @@ def _cmd_demo(trace: str, duration: int, orgs: int, seed: int) -> None:
     print(fairness_report(comparison))
 
 
-def _cmd_table(which: str, duration: int, repeats: int, seed: int) -> None:
+def _cmd_table(which: str, args: argparse.Namespace) -> None:
     from .experiments.reporting import render_table
     from .experiments.tables import table1, table2
 
     fn = table1 if which == "table1" else table2
-    result = fn(duration=duration, n_repeats=repeats, seed=seed)
+    result = fn(
+        duration=args.duration,
+        n_repeats=args.repeats,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=not args.no_resume,
+    )
     print(render_table(result, title=f"{which} (scaled reproduction)"))
 
 
-def _cmd_figure10(orgs_csv: str, duration: int, repeats: int) -> None:
+def _cmd_figure10(args: argparse.Namespace) -> None:
     from .experiments.figures import figure10
     from .experiments.reporting import render_series
     from .viz import sparkline
 
-    org_counts = tuple(int(v) for v in orgs_csv.split(","))
-    xs, series = figure10(org_counts, duration=duration, n_repeats=repeats)
+    org_counts = tuple(int(v) for v in args.orgs.split(","))
+    xs, series = figure10(
+        org_counts,
+        duration=args.duration,
+        n_repeats=args.repeats,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=not args.no_resume,
+    )
     print(render_series(xs, series, "organizations", "Figure 10 (scaled)"))
     print()
     for name, ys in series.items():
         print(f"  {name:<16} {sparkline(ys)}")
+
+
+def _cmd_scenarios() -> None:
+    from .experiments.registry import list_scenarios
+
+    print("registered scenarios (repro run NAME):")
+    for sc in list_scenarios():
+        spec = sc.spec
+        print(f"  {sc.name:<12} {sc.description}")
+        print(
+            f"  {'':<12}   family={spec.family} traces={','.join(spec.traces)}"
+            f" duration={spec.duration} repeats={spec.n_repeats}"
+            f" portfolio={spec.portfolio}"
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from .experiments.pipeline import run_pipeline
+    from .experiments.registry import scenario_spec
+    from .experiments.reporting import render_pipeline
+
+    traces = (
+        tuple(args.traces.split(",")) if args.traces is not None else None
+    )
+    metrics = (
+        tuple(args.metrics.split(",")) if args.metrics is not None else None
+    )
+    org_counts = (
+        tuple(int(v) for v in args.org_counts.split(","))
+        if args.org_counts is not None
+        # --orgs means "exactly N": clear a scenario's sweep axis, which
+        # would otherwise override n_orgs per variant
+        else (() if args.n_orgs is not None else None)
+    )
+    spec = scenario_spec(
+        args.scenario,
+        traces=traces,
+        n_orgs=args.n_orgs,
+        org_counts=org_counts,
+        duration=args.duration,
+        n_repeats=args.n_repeats,
+        scale=args.scale,
+        seed=args.seed,
+        machine_dist=args.machine_dist,
+        portfolio=args.portfolio,
+        metrics=metrics,
+        swf_path=args.swf_path,
+    )
+    result = run_pipeline(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=not args.no_resume,
+        progress=None if args.quiet else lambda line: print(line, flush=True),
+    )
+    print(render_pipeline(result, title=f"{args.scenario} ({spec.family})"))
+    print(
+        f"\n{result.computed} computed + {result.cached} cached instances "
+        f"in {result.wall_time_s:.1f}s"
+        + (f"; checkpoint: {result.cache_path}" if result.cache_path else "")
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -182,9 +309,13 @@ def main(argv: "list[str] | None" = None) -> int:
     elif args.command == "demo":
         _cmd_demo(args.trace, args.duration, args.orgs, args.seed)
     elif args.command in ("table1", "table2"):
-        _cmd_table(args.command, args.duration, args.repeats, args.seed)
+        _cmd_table(args.command, args)
     elif args.command == "figure10":
-        _cmd_figure10(args.orgs, args.duration, args.repeats)
+        _cmd_figure10(args)
+    elif args.command == "scenarios":
+        _cmd_scenarios()
+    elif args.command == "run":
+        _cmd_run(args)
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

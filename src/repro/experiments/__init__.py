@@ -1,4 +1,18 @@
-"""Experiment harness regenerating every table and figure of Section 7."""
+"""Experiment subsystem: declarative scenarios over a shared pipeline.
+
+Regenerates every table and figure of the paper's Section 7 — and any
+registered scenario beyond them — through one engine:
+
+* :mod:`repro.experiments.spec` — frozen :class:`ScenarioSpec` value
+  objects (content-hashable, picklable, instance-enumerating);
+* :mod:`repro.experiments.registry` — pluggable scenario families,
+  algorithm portfolios and named scenarios;
+* :mod:`repro.experiments.pipeline` — the parallel / cached / resumable
+  execution engine (``run_pipeline``);
+* :mod:`repro.experiments.harness`, :mod:`~repro.experiments.tables`,
+  :mod:`~repro.experiments.figures`, :mod:`~repro.experiments.reporting`
+  — the paper-protocol consumers layered on top.
+"""
 
 from .figures import (
     FIGURE10_PAPER_SHAPE,
@@ -18,16 +32,45 @@ from .harness import (
     run_instance,
     sample_instance,
 )
-from .reporting import format_cell, render_series, render_table
+from .pipeline import (
+    PipelineInstanceResult,
+    PipelineResult,
+    StreamingStats,
+    run_instance_spec,
+    run_pipeline,
+)
+from .registry import (
+    FAMILIES,
+    PORTFOLIOS,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_family,
+    register_portfolio,
+    register_scenario,
+    scenario_spec,
+)
+from .reporting import format_cell, render_pipeline, render_series, render_table
+from .spec import InstanceSpec, ScenarioSpec
 from .tables import TABLE1_PAPER, TABLE2_PAPER, table1, table2
 
 __all__ = [
     "DEFAULT_SCALES",
     "ExperimentConfig",
     "ExperimentResult",
+    "FAMILIES",
     "FIGURE10_PAPER_SHAPE",
     "Figure2Numbers",
     "InstanceResult",
+    "InstanceSpec",
+    "PORTFOLIOS",
+    "PipelineInstanceResult",
+    "PipelineResult",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioSpec",
+    "StreamingStats",
     "TABLE1_PAPER",
     "TABLE2_PAPER",
     "default_algorithms",
@@ -36,11 +79,20 @@ __all__ = [
     "figure2_schedule",
     "figure7_numbers",
     "format_cell",
+    "get_scenario",
+    "list_scenarios",
+    "register_family",
+    "register_portfolio",
+    "register_scenario",
+    "render_pipeline",
     "render_series",
     "render_table",
     "run_experiment",
     "run_instance",
+    "run_instance_spec",
+    "run_pipeline",
     "sample_instance",
+    "scenario_spec",
     "table1",
     "table2",
 ]

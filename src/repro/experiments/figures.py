@@ -4,10 +4,7 @@ organization-count sweep (Fig. 10).
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
-
-import numpy as np
 
 from ..analysis.utilization import figure7_ratios, figure7_workload
 from ..core.job import Job
@@ -16,7 +13,8 @@ from ..core.schedule import Schedule, ScheduledJob
 from ..core.workload import Workload
 from ..utility.classic import flow_time
 from ..utility.strategyproof import psi_sp
-from .harness import ExperimentConfig, assign_instance, run_instance, sample_window
+from .pipeline import run_pipeline
+from .spec import ScenarioSpec
 
 __all__ = [
     "Figure2Numbers",
@@ -152,8 +150,18 @@ def figure10(
     n_repeats: int = 2,
     scale: "float | None" = None,
     seed: int = 0,
+    workers: int = 1,
+    cache_dir: "str | None" = None,
+    resume: bool = True,
 ) -> tuple[list[int], dict[str, list[float]]]:
     """Regenerate Fig. 10: avg delay vs number of organizations.
+
+    Thin consumer of the ``churn`` scenario family: an organization-count
+    sweep with common-random-numbers windows (each repeat fixes one trace
+    window and reuses it for every organization count, so the k-trend is
+    not swamped by window-to-window load variance; the paper instead
+    averages 100 windows per point).  ``workers``/``cache_dir`` forward to
+    the pipeline for parallel and resumable sweeps.
 
     REF's cost is Theta(3^k) per event, so the default sweep stops at 6
     organizations; pass ``org_counts=(2,...,10)`` (and patience) for the
@@ -161,39 +169,25 @@ def figure10(
 
     Returns ``(xs, {algorithm: [avg delay per x]})``.
     """
-    # Common-random-numbers design: each repeat fixes one trace window and
-    # reuses it for every organization count, so the k-trend is not swamped
-    # by window-to-window load variance (the paper instead averages 100
-    # windows per point).
-    series: dict[str, list[float]] = {}
-    xs: list[int] = list(org_counts)
-    base_config = ExperimentConfig(
-        traces=(trace,), duration=duration, n_repeats=n_repeats,
-        scale=scale, seed=seed,
+    spec = ScenarioSpec(
+        family="churn",
+        traces=(trace,),
+        duration=duration,
+        n_repeats=n_repeats,
+        scale=scale,
+        seed=seed,
+        org_counts=tuple(org_counts),
     )
-    windows = []
-    for rep in range(n_repeats):
-        rng = np.random.default_rng(
-            zlib.crc32(f"{trace}/window/{rep}/{seed}".encode())
-        )
-        windows.append(sample_window(trace, base_config, rng))
-    for k in org_counts:
-        config = ExperimentConfig(
-            traces=(trace,), n_orgs=k, duration=duration,
-            n_repeats=n_repeats, scale=scale, seed=seed,
-        )
-        sums: dict[str, float] = {}
-        for rep, (records, spec, t_start) in enumerate(windows):
-            rng = np.random.default_rng(
-                zlib.crc32(f"{trace}/{k}/{rep}/{seed}".encode())
-            )
-            workload = assign_instance(records, spec, t_start, config, rng)
-            algorithms = config.algorithms(
-                duration, int(rng.integers(0, 2**31 - 1))
-            )
-            delays = run_instance(workload, duration, algorithms)
-            for name, d in delays.items():
-                sums[name] = sums.get(name, 0.0) + d
-        for name, total in sums.items():
-            series.setdefault(name, []).append(total / n_repeats)
+    result = run_pipeline(
+        spec, workers=workers, cache_dir=cache_dir, resume=resume
+    )
+    xs: list[int] = list(org_counts)
+    series: dict[str, list[float]] = {}
+    for alg in result.algorithms():
+        series[alg] = [
+            result.mean_std(
+                trace, alg, variant=(("n_orgs", int(k)),)
+            )[0]
+            for k in org_counts
+        ]
     return xs, series

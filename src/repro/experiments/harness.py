@@ -22,31 +22,21 @@ records both the paper's numbers and ours.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from ..algorithms import (
-    CurrFairShareScheduler,
-    DirectContributionScheduler,
-    FairShareScheduler,
-    RandScheduler,
-    RefScheduler,
-    RoundRobinScheduler,
-    Scheduler,
-    UtFairShareScheduler,
-)
+from ..algorithms import RefScheduler, Scheduler
 from ..core.workload import Workload
-from ..sim.metrics import avg_delay
+from ..sim.runner import evaluate_portfolio
 from ..workloads.traces import make_trace
 from ..workloads.transforms import (
     assign_users_to_orgs,
     build_workload,
-    uniform_machine_split,
-    zipf_machine_split,
+    machine_split,
 )
+from .registry import paper_portfolio
 
 __all__ = [
     "ExperimentConfig",
@@ -63,17 +53,9 @@ __all__ = [
 #: Factory signature: given the horizon, build fresh scheduler objects.
 AlgorithmFactory = Callable[[int, int], list[Scheduler]]
 
-
-def default_algorithms(horizon: int, seed: int) -> list[Scheduler]:
-    """The paper's Table 1/2 row set (Section 7.1)."""
-    return [
-        RoundRobinScheduler(horizon=horizon),
-        RandScheduler(n_orderings=15, seed=seed, horizon=horizon),
-        DirectContributionScheduler(seed=seed, horizon=horizon),
-        FairShareScheduler(horizon=horizon),
-        UtFairShareScheduler(horizon=horizon),
-        CurrFairShareScheduler(horizon=horizon),
-    ]
+#: The paper's Table 1/2 row set (Section 7.1) — canonical definition now
+#: lives in the portfolio registry as ``"paper"``.
+default_algorithms = paper_portfolio
 
 
 #: Default per-trace shrink factors chosen so a scaled instance keeps
@@ -176,10 +158,9 @@ def assign_instance(
     """Steps 3-4 of the protocol: user->org and machine->org assignment."""
     users = [r.user for r in records]
     user_map = assign_users_to_orgs(users, config.n_orgs, rng)
-    if config.machine_dist == "zipf":
-        machines = zipf_machine_split(spec.n_machines, config.n_orgs)
-    else:
-        machines = uniform_machine_split(spec.n_machines, config.n_orgs)
+    machines = machine_split(
+        spec.n_machines, config.n_orgs, config.machine_dist
+    )
     full = build_workload(records, machines, user_map)
     return full.window(t_start, t_start + config.duration)
 
@@ -200,36 +181,64 @@ def run_instance(
 ) -> dict[str, float]:
     """Steps 5-6: every algorithm's Delta-psi / p_tot against REF."""
     ref = reference or RefScheduler(horizon=duration)
-    ref_result = ref.run(workload)
-    out: dict[str, float] = {}
-    for alg in algorithms:
-        result = alg.run(workload)
-        out[alg.name] = avg_delay(result, ref_result, duration)
-    return out
+    return evaluate_portfolio(workload, duration, algorithms, ref)["avg_delay"]
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """The full protocol over every trace and repeat in ``config``."""
-    instances: list[InstanceResult] = []
-    for trace in config.traces:
-        for rep in range(config.n_repeats):
-            # zlib.crc32 (unlike hash()) is stable across processes, so
-            # experiments are reproducible bit-for-bit
-            rng = np.random.default_rng(
-                zlib.crc32(f"{trace}/{rep}/{config.seed}".encode())
-            )
-            workload = sample_instance(trace, config, rng)
-            algorithms = config.algorithms(
-                config.duration, int(rng.integers(0, 2**31 - 1))
-            )
-            delays = run_instance(workload, config.duration, algorithms)
-            instances.append(
-                InstanceResult(
-                    trace=trace,
-                    repeat=rep,
-                    avg_delays=delays,
-                    n_jobs=len(workload.jobs),
-                    n_machines=workload.n_machines,
-                )
-            )
-    return ExperimentResult(config=config, instances=tuple(instances))
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    workers: int = 1,
+    cache_dir: "str | None" = None,
+    resume: bool = True,
+) -> ExperimentResult:
+    """The full protocol over every trace and repeat in ``config``.
+
+    Thin consumer of :mod:`repro.experiments.pipeline`: the config maps to
+    a ``synthetic``-family :class:`~repro.experiments.spec.ScenarioSpec`
+    and runs through the shared engine — which is what provides the
+    ``workers`` fan-out and the ``cache_dir`` resume checkpoint.  Seed
+    derivation is unchanged (``crc32(f"{trace}/{rep}/{seed}")`` per
+    instance), so results are bit-identical with the historical serial
+    loop at any worker count.
+
+    A custom ``config.algorithms`` factory is forwarded as a portfolio
+    override (it must be picklable for ``workers > 1``; caching is
+    disabled for overrides because callables have no content hash).
+    """
+    from .pipeline import run_pipeline
+    from .spec import ScenarioSpec
+
+    spec = ScenarioSpec(
+        family="synthetic",
+        traces=config.traces,
+        n_orgs=config.n_orgs,
+        duration=config.duration,
+        n_repeats=config.n_repeats,
+        scale=config.scale,
+        machine_dist=config.machine_dist,
+        seed=config.seed,
+        pool_factor=config.pool_factor,
+        portfolio="paper",
+    )
+    override = (
+        None if config.algorithms is default_algorithms else config.algorithms
+    )
+    outcome = run_pipeline(
+        spec,
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
+        keep_instances=True,
+        algorithms=override,
+    )
+    instances = tuple(
+        InstanceResult(
+            trace=r.trace,
+            repeat=r.repeat,
+            avg_delays=dict(r.metrics["avg_delay"]),
+            n_jobs=r.n_jobs,
+            n_machines=r.n_machines,
+        )
+        for r in outcome.instances
+    )
+    return ExperimentResult(config=config, instances=instances)

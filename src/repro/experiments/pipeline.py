@@ -1,0 +1,352 @@
+"""The experiment execution engine: parallel, cached, resumable.
+
+:func:`run_pipeline` turns a :class:`~repro.experiments.spec.ScenarioSpec`
+into aggregated results with three properties the hand-rolled serial loop
+lacked:
+
+**Parallel, deterministically.**  Instances fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Each instance derives
+its RNGs from stable string keys (``zlib.crc32`` — identical across
+processes), and aggregation consumes results in the spec's canonical
+instance order regardless of completion order, so a ``workers=N`` run is
+**bit-identical** to the serial run (asserted in tests).
+
+**Cached, resumably.**  With a ``cache_dir``, every finished
+:class:`PipelineInstanceResult` is appended (and flushed) to a JSONL file named by
+the spec's content hash.  A killed run resumes from the last flushed line;
+a finished run replays entirely from cache; editing *any* spec knob
+changes the hash and starts fresh.  Torn tail lines from a kill are
+skipped on load.
+
+**O(1) memory in repeats.**  Results stream through Welford mean/std
+accumulators (:class:`StreamingStats`) per (group, metric, algorithm)
+cell; instances are only retained when ``keep_instances=True``.
+
+The per-instance work itself (:func:`run_instance_spec`) is: family
+builder -> workload; portfolio factory -> algorithms; exact REF reference;
+score every (algorithm, metric) cell — steps 1-6 of the paper's Section
+7.2 protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from ..algorithms.ref import RefScheduler
+from ..sim.runner import evaluate_portfolio
+from .registry import get_family, get_portfolio
+from .spec import InstanceSpec, ScenarioSpec
+
+__all__ = [
+    "PipelineInstanceResult",
+    "PipelineResult",
+    "StreamingStats",
+    "cache_path_for",
+    "run_instance_spec",
+    "run_pipeline",
+]
+
+#: Optional override for the spec's named portfolio (must be picklable for
+#: parallel runs).  Overrides disable the cache: a callable has no stable
+#: content hash.
+AlgorithmFactory = Callable[[int, int], list]
+
+Variant = tuple[tuple[str, "int | float | str"], ...]
+
+
+@dataclass(frozen=True)
+class PipelineInstanceResult:
+    """The outcome of one pipeline instance (one cache line).
+
+    ``metrics`` maps metric name -> algorithm name -> score.  Equality is
+    exact (dict/float comparison), which is what the serial==parallel and
+    cache-replay guarantees are asserted against.
+    """
+
+    key: str
+    trace: str
+    repeat: int
+    variant: Variant
+    metrics: dict[str, dict[str, float]]
+    n_jobs: int
+    n_machines: int
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.key,
+            "trace": self.trace,
+            "repeat": self.repeat,
+            "variant": [list(pair) for pair in self.variant],
+            "metrics": self.metrics,
+            "n_jobs": self.n_jobs,
+            "n_machines": self.n_machines,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "PipelineInstanceResult":
+        return cls(
+            key=d["key"],
+            trace=d["trace"],
+            repeat=int(d["repeat"]),
+            variant=tuple((k, v) for k, v in d["variant"]),
+            metrics=d["metrics"],
+            n_jobs=int(d["n_jobs"]),
+            n_machines=int(d["n_machines"]),
+        )
+
+
+class StreamingStats:
+    """Welford mean/std accumulator (population std, matching ``np.std``).
+
+    O(1) state per cell regardless of how many repeats stream through —
+    the pipeline's memory does not grow with ``n_repeats``.
+    """
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._m2 / self.n) if self.n else 0.0
+
+    def as_tuple(self) -> tuple[int, float, float]:
+        return (self.n, self.mean, self.std)
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated pipeline outcome.
+
+    ``aggregates`` maps ``(trace, variant)`` group keys to
+    ``{metric: {algorithm: (n, mean, std)}}``.  ``instances`` is ``None``
+    unless the run was asked to keep them (``keep_instances=True``).
+    """
+
+    spec: ScenarioSpec
+    aggregates: dict[
+        "tuple[str, Variant]", dict[str, dict[str, tuple[int, float, float]]]
+    ]
+    computed: int
+    cached: int
+    wall_time_s: float
+    cache_path: "str | None" = None
+    instances: "tuple[PipelineInstanceResult, ...] | None" = None
+
+    def groups(self) -> list["tuple[str, Variant]"]:
+        return list(self.aggregates)
+
+    def algorithms(self) -> list[str]:
+        names: list[str] = []
+        for per_metric in self.aggregates.values():
+            for per_alg in per_metric.values():
+                for name in per_alg:
+                    if name not in names:
+                        names.append(name)
+        return names
+
+    def mean_std(
+        self,
+        trace: str,
+        algorithm: str,
+        metric: str = "avg_delay",
+        variant: Variant = (),
+    ) -> tuple[float, float]:
+        cell = self.aggregates[(trace, variant)][metric][algorithm]
+        return cell[1], cell[2]
+
+
+def cache_path_for(spec: ScenarioSpec, cache_dir: "str | Path") -> Path:
+    """The spec's JSONL checkpoint file: family + content hash."""
+    return Path(cache_dir) / f"{spec.family}-{spec.content_hash()}.jsonl"
+
+
+def run_instance_spec(
+    spec: ScenarioSpec,
+    inst: InstanceSpec,
+    algorithms: "AlgorithmFactory | None" = None,
+) -> PipelineInstanceResult:
+    """Compute one instance end-to-end (the worker-process entry point)."""
+    build = get_family(spec.family)
+    workload, alg_seed = build(spec, inst)
+    factory = algorithms if algorithms is not None else get_portfolio(spec.portfolio)
+    portfolio = factory(spec.duration, alg_seed)
+    metrics = evaluate_portfolio(
+        workload,
+        spec.duration,
+        portfolio,
+        RefScheduler(horizon=spec.duration),
+        spec.metrics,
+    )
+    return PipelineInstanceResult(
+        key=inst.key,
+        trace=inst.trace,
+        repeat=inst.repeat,
+        variant=inst.variant,
+        metrics=metrics,
+        n_jobs=len(workload.jobs),
+        n_machines=workload.n_machines,
+    )
+
+
+def _run_one(args) -> PipelineInstanceResult:
+    """Picklable ProcessPoolExecutor task."""
+    spec, inst, algorithms = args
+    return run_instance_spec(spec, inst, algorithms)
+
+
+def _compute_stream(
+    spec: ScenarioSpec,
+    todo: "list[InstanceSpec]",
+    workers: int,
+    algorithms: "AlgorithmFactory | None",
+) -> Iterator[PipelineInstanceResult]:
+    """Yield fresh results in ``todo`` order (parallel computation happens
+    behind an order-preserving ``Executor.map``)."""
+    if workers <= 1 or len(todo) <= 1:
+        for inst in todo:
+            yield run_instance_spec(spec, inst, algorithms)
+        return
+    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as ex:
+        yield from ex.map(
+            _run_one,
+            ((spec, inst, algorithms) for inst in todo),
+            chunksize=1,
+        )
+
+
+def _load_cache(path: Path) -> dict[str, PipelineInstanceResult]:
+    """Replay a checkpoint file; torn tail lines (killed mid-write) and
+    other junk lines are skipped, not fatal."""
+    out: dict[str, PipelineInstanceResult] = {}
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return out
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            result = PipelineInstanceResult.from_json(json.loads(line))
+        except (ValueError, KeyError, TypeError):
+            continue
+        out[result.key] = result
+    return out
+
+
+def run_pipeline(
+    spec: ScenarioSpec,
+    *,
+    workers: int = 1,
+    cache_dir: "str | Path | None" = None,
+    resume: bool = True,
+    keep_instances: bool = False,
+    algorithms: "AlgorithmFactory | None" = None,
+    progress: "Callable[[str], None] | None" = None,
+) -> PipelineResult:
+    """Execute every instance of ``spec`` and aggregate.
+
+    Parameters
+    ----------
+    workers:
+        Process fan-out; ``1`` runs inline.  Results are identical either
+        way (see module docstring).
+    cache_dir:
+        Directory for the JSONL instance checkpoint.  ``None`` disables
+        caching entirely.
+    resume:
+        Replay instances already present in the checkpoint instead of
+        recomputing them (``False`` recomputes and re-appends everything).
+    keep_instances:
+        Retain per-instance results on the returned object (memory then
+        grows with instance count; aggregation itself stays streaming).
+    algorithms:
+        Optional portfolio override (callable).  Disables the cache — a
+        callable has no stable content hash to key it by.
+    progress:
+        Called with one short line per finished instance.
+    """
+    started = time.perf_counter()
+    instances = spec.instances()
+    cache_file: "Path | None" = None
+    cached: dict[str, PipelineInstanceResult] = {}
+    if cache_dir is not None and algorithms is None:
+        cache_file = cache_path_for(spec, cache_dir)
+        if resume:
+            cached = _load_cache(cache_file)
+    todo = [inst for inst in instances if inst.key not in cached]
+    fresh = _compute_stream(spec, todo, workers, algorithms)
+
+    aggregates: dict[
+        "tuple[str, Variant]", dict[str, dict[str, StreamingStats]]
+    ] = {}
+    kept: list[PipelineInstanceResult] = []
+    n_cached = 0
+    n_computed = 0
+    sink = None
+    if cache_file is not None:
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        sink = open(cache_file, "a", encoding="utf-8")
+    try:
+        for inst in instances:
+            if inst.key in cached:
+                result = cached[inst.key]
+                n_cached += 1
+            else:
+                result = next(fresh)
+                n_computed += 1
+                if sink is not None:
+                    sink.write(
+                        json.dumps(result.to_json(), separators=(",", ":"))
+                        + "\n"
+                    )
+                    sink.flush()
+            group = aggregates.setdefault((result.trace, result.variant), {})
+            for metric, per_alg in result.metrics.items():
+                cells = group.setdefault(metric, {})
+                for alg, value in per_alg.items():
+                    cells.setdefault(alg, StreamingStats()).push(value)
+            if keep_instances:
+                kept.append(result)
+            if progress is not None:
+                origin = "cached" if inst.key in cached else "computed"
+                progress(
+                    f"[{n_cached + n_computed}/{len(instances)}] "
+                    f"{result.key} ({origin})"
+                )
+    finally:
+        if sink is not None:
+            sink.close()
+
+    final = {
+        g: {
+            metric: {alg: s.as_tuple() for alg, s in cells.items()}
+            for metric, cells in per_metric.items()
+        }
+        for g, per_metric in aggregates.items()
+    }
+    return PipelineResult(
+        spec=spec,
+        aggregates=final,
+        computed=n_computed,
+        cached=n_cached,
+        wall_time_s=time.perf_counter() - started,
+        cache_path=str(cache_file) if cache_file is not None else None,
+        instances=tuple(kept) if keep_instances else None,
+    )

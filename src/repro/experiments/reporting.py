@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from .harness import ExperimentResult
 
-__all__ = ["render_table", "render_series", "format_cell"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline -> registry)
+    from .pipeline import PipelineResult
+
+__all__ = ["render_table", "render_series", "format_cell", "render_pipeline"]
 
 
 def format_cell(mean: float, std: float) -> str:
@@ -42,6 +45,48 @@ def render_table(
             mean, std = result.mean_std(trace, alg)
             cells.append(format_cell(mean, std).rjust(cwidth))
         lines.append(alg.ljust(width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def _group_label(trace: str, variant) -> str:
+    if not variant:
+        return trace
+    inner = ",".join(
+        f"{name}={value:g}" if isinstance(value, float) else f"{name}={value}"
+        for name, value in variant
+    )
+    return f"{trace}[{inner}]"
+
+
+def render_pipeline(result: "PipelineResult", title: "str | None" = None) -> str:
+    """Render a :class:`~repro.experiments.pipeline.PipelineResult` as one
+    Tables-1/2-style grid per metric: rows = algorithms, columns = (trace,
+    sweep-variant) groups, cells = ``mean ±std`` over repeats."""
+    spec = result.spec
+    heading = title or (
+        f"scenario family={spec.family} "
+        f"(hash {spec.content_hash()}, {result.computed} computed / "
+        f"{result.cached} cached, {result.wall_time_s:.1f}s)"
+    )
+    groups = result.groups()
+    algorithms = result.algorithms()
+    labels = [_group_label(trace, variant) for trace, variant in groups]
+    width = max([len(a) for a in algorithms] + [12])
+    cwidth = max(max((len(c) for c in labels), default=0) + 2, 16)
+    lines = [heading]
+    for metric in spec.metrics:
+        lines.append(metric)
+        lines.append(" " * width + "".join(c.rjust(cwidth) for c in labels))
+        for alg in algorithms:
+            cells = []
+            for group in groups:
+                per_alg = result.aggregates[group].get(metric, {})
+                if alg in per_alg:
+                    _, mean, std = per_alg[alg]
+                    cells.append(format_cell(mean, std).rjust(cwidth))
+                else:
+                    cells.append("-".rjust(cwidth))
+            lines.append(alg.ljust(width) + "".join(cells))
     return "\n".join(lines)
 
 

@@ -72,9 +72,14 @@ def table1(
     n_repeats: int = 3,
     scale: "float | None" = None,
     seed: int = 0,
+    workers: int = 1,
+    cache_dir: "str | None" = None,
+    resume: bool = True,
 ) -> ExperimentResult:
     """Regenerate Table 1 (scaled by default; paper-size:
-    ``duration=50_000, n_repeats=100, scale=1.0``)."""
+    ``duration=50_000, n_repeats=100, scale=1.0``).  ``workers`` and
+    ``cache_dir`` forward to the experiment pipeline (parallel fan-out,
+    resumable checkpoint); results are identical at any worker count."""
     return run_experiment(
         ExperimentConfig(
             traces=traces,
@@ -83,7 +88,10 @@ def table1(
             n_repeats=n_repeats,
             scale=scale,
             seed=seed,
-        )
+        ),
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
     )
 
 
@@ -95,6 +103,9 @@ def table2(
     n_repeats: int = 2,
     scale: "float | None" = None,
     seed: int = 1,
+    workers: int = 1,
+    cache_dir: "str | None" = None,
+    resume: bool = True,
 ) -> ExperimentResult:
     """Regenerate Table 2: the Table 1 protocol with a 10x longer window
     (paper-size: ``duration=500_000, n_repeats=100, scale=1.0``)."""
@@ -106,5 +117,8 @@ def table2(
             n_repeats=n_repeats,
             scale=scale,
             seed=seed,
-        )
+        ),
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
     )

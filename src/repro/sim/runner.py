@@ -9,13 +9,56 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..algorithms.base import Scheduler, SchedulerResult
 from ..core.workload import Workload
-from .metrics import avg_delay, unfairness
+from .metrics import avg_delay, unfairness, utilization_ratio
 
-__all__ = ["run_schedule", "compare_algorithms", "Comparison", "AlgorithmOutcome"]
+__all__ = [
+    "run_schedule",
+    "compare_algorithms",
+    "Comparison",
+    "AlgorithmOutcome",
+    "METRICS",
+    "evaluate_portfolio",
+]
+
+#: Named scoring functions ``f(result, reference, t_end) -> float`` usable
+#: in a :class:`~repro.experiments.spec.ScenarioSpec` ``metrics`` tuple.
+#: Names (not callables) keep scenario specs hashable and picklable.
+METRICS: dict[str, Callable[[SchedulerResult, SchedulerResult, int], float]] = {
+    "avg_delay": avg_delay,
+    "unfairness": unfairness,
+    "utilization_ratio": utilization_ratio,
+}
+
+
+def evaluate_portfolio(
+    workload: Workload,
+    t_end: int,
+    algorithms: Sequence[Scheduler],
+    reference: Scheduler,
+    metrics: Sequence[str] = ("avg_delay",),
+    members: Iterable[int] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Score every algorithm against ``reference`` under every named metric.
+
+    This is the pipeline's per-instance evaluation kernel (steps 5-6 of the
+    Section 7.2 protocol, generalized to a metric set): the reference runs
+    once, each algorithm runs once, and the result is
+    ``{metric: {algorithm: value}}``.
+    """
+    unknown = [m for m in metrics if m not in METRICS]
+    if unknown:
+        raise KeyError(f"unknown metrics {unknown}; available: {sorted(METRICS)}")
+    ref_result = reference.run(workload, members)
+    out: dict[str, dict[str, float]] = {m: {} for m in metrics}
+    for alg in algorithms:
+        result = alg.run(workload, members)
+        for m in metrics:
+            out[m][alg.name] = float(METRICS[m](result, ref_result, t_end))
+    return out
 
 
 def run_schedule(

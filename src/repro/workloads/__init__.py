@@ -1,6 +1,8 @@
 """Workload substrate: SWF parsing, synthetic trace generation, the four
-paper-trace stand-ins, and the paper's preprocessing transforms."""
+paper-trace stand-ins, federated-cloud burst workloads, and the paper's
+preprocessing transforms."""
 
+from .federated import FederatedSpec, federated_records
 from .swf import SwfJob, SwfTrace, load_swf, parse_swf, write_swf
 from .synthetic import SyntheticSpec, generate_jobs
 from .traces import (
@@ -15,13 +17,16 @@ from .traces import (
 )
 from .transforms import (
     assign_users_to_orgs,
+    build_swf_instance,
     build_workload,
+    machine_split,
     parallel_to_sequential,
     uniform_machine_split,
     zipf_machine_split,
 )
 
 __all__ = [
+    "FederatedSpec",
     "PAPER_TRACES",
     "SwfJob",
     "SwfTrace",
@@ -29,10 +34,13 @@ __all__ = [
     "TraceProfile",
     "TRACE_PROFILES",
     "assign_users_to_orgs",
+    "build_swf_instance",
     "build_workload",
+    "federated_records",
     "generate_jobs",
     "load_swf",
     "lpc_egee",
+    "machine_split",
     "make_trace",
     "parallel_to_sequential",
     "parse_swf",

@@ -1,0 +1,148 @@
+"""Federated-cloud offload workloads: correlated per-provider bursts.
+
+Pacholczyk & Rzadca (*Fair non-monetary scheduling in federated clouds*,
+2018) study the regime this scenario family models: several providers
+(organizations) federate their clusters; each provider's demand is bursty
+and **internally correlated** (its users peak together — think a regional
+cloud following its time zone's working hours), but the providers' peaks
+are **staggered**, so at any moment the bursting provider can offload onto
+the others' idle machines.  This is precisely where contribution-tracking
+fairness matters: a provider that lends its idle capacity at night must be
+credited when its own peak arrives, and static fair-share targets
+mis-measure that by construction.
+
+The generator composes :mod:`repro.workloads.synthetic` per provider:
+
+* every provider gets its own user population and its own diurnal demand
+  cycle with a large amplitude (the *burst*);
+* provider ``o``'s cycle is phase-shifted by ``o / k`` of the day length,
+  staggering the peaks around the clock;
+* submit times wrap modulo the horizon, so every window position sees the
+  same stationary stagger pattern.
+
+The result is plain SWF records plus the user->organization map, ready for
+:func:`repro.workloads.transforms.build_workload` — federated scenarios
+flow through the exact same pipeline as every other scenario family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .swf import SwfJob
+from .synthetic import SyntheticSpec, generate_jobs
+
+__all__ = ["FederatedSpec", "federated_records"]
+
+#: Per-provider user-id stride (provider o's users are o*_USER_STRIDE + u).
+_USER_STRIDE = 100_000
+
+
+@dataclass(frozen=True)
+class FederatedSpec:
+    """Parameters of one federated-offload instance.
+
+    Attributes
+    ----------
+    n_orgs:
+        Number of federated providers.
+    machines_per_org:
+        Identical machine endowment per provider (the symmetric-federation
+        baseline; asymmetric endowments come from the scenario's machine
+        split instead).
+    users_per_org:
+        Distinct submitting users inside each provider.
+    horizon:
+        Length of the generated submission window.
+    load:
+        Per-provider target utilization of its *own* machines; the
+        federation-wide load factor is the same value.
+    peak_amplitude:
+        Diurnal amplitude of each provider's demand cycle (0 = flat,
+        1 = full on/off bursts).  High values make offloading valuable.
+    day_length:
+        Period of the demand cycle; provider ``o`` is phase-shifted by
+        ``o * day_length / n_orgs``.
+    size_mu, size_sigma, max_size:
+        Lognormal job-size parameters (cloud-style short tasks by default).
+    session_jobs_mean, session_gap_mean:
+        Burst shape of one user session (see
+        :class:`repro.workloads.synthetic.SyntheticSpec`).
+    """
+
+    n_orgs: int
+    horizon: int
+    machines_per_org: int = 5
+    users_per_org: int = 8
+    load: float = 0.8
+    peak_amplitude: float = 0.9
+    day_length: int = 4_000
+    size_mu: float = 3.2
+    size_sigma: float = 1.1
+    max_size: int = 400
+    session_jobs_mean: float = 12.0
+    session_gap_mean: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n_orgs < 2:
+            raise ValueError("a federation needs at least 2 providers")
+        if self.machines_per_org < 1 or self.users_per_org < 1:
+            raise ValueError("machines_per_org and users_per_org must be >= 1")
+        if self.day_length < self.n_orgs:
+            raise ValueError("day_length must be >= n_orgs")
+
+
+def federated_records(
+    spec: FederatedSpec, rng: np.random.Generator
+) -> tuple[list[SwfJob], dict[int, int]]:
+    """Generate the federation's SWF records and the user->provider map.
+
+    Providers are generated in id order from the single ``rng`` stream, so
+    one seed reproduces the whole federation.  Returned records are sorted
+    and renumbered in submit order (SWF convention).
+    """
+    records: list[SwfJob] = []
+    user_map: dict[int, int] = {}
+    for org in range(spec.n_orgs):
+        sub = SyntheticSpec(
+            n_machines=spec.machines_per_org,
+            n_users=spec.users_per_org,
+            horizon=spec.horizon,
+            load=spec.load,
+            size_mu=spec.size_mu,
+            size_sigma=spec.size_sigma,
+            max_size=spec.max_size,
+            session_jobs_mean=spec.session_jobs_mean,
+            session_gap_mean=spec.session_gap_mean,
+            diurnal_amplitude=spec.peak_amplitude,
+            day_length=spec.day_length,
+            parallel_prob=0.0,
+        )
+        phase = org * spec.day_length // spec.n_orgs
+        for j in generate_jobs(sub, rng):
+            uid = org * _USER_STRIDE + j.user
+            user_map[uid] = org
+            records.append(
+                SwfJob(
+                    job_id=0,  # renumbered below in submit order
+                    submit=(j.submit + phase) % spec.horizon,
+                    run=j.run,
+                    cpus=1,
+                    req_cpus=1,
+                    user=uid,
+                )
+            )
+    records.sort(key=lambda r: (r.submit, r.user))
+    return [
+        SwfJob(
+            job_id=i + 1,
+            submit=r.submit,
+            run=r.run,
+            cpus=r.cpus,
+            req_cpus=r.req_cpus,
+            user=r.user,
+        )
+        for i, r in enumerate(records)
+    ], user_map

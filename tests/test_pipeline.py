@@ -1,0 +1,376 @@
+"""Tests for the ScenarioSpec pipeline: registry, hashing, streaming
+aggregation, parallel/serial bit-identity, cache resume, and the new
+scenario families (SWF end-to-end, federated offload, churn sweep)."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.pipeline import (
+    PipelineInstanceResult,
+    StreamingStats,
+    cache_path_for,
+    run_instance_spec,
+    run_pipeline,
+)
+from repro.experiments.registry import (
+    FAMILIES,
+    PORTFOLIOS,
+    SCENARIOS,
+    get_family,
+    get_portfolio,
+    get_scenario,
+    scenario_spec,
+)
+from repro.experiments.spec import ScenarioSpec, derive_rng
+from repro.workloads.federated import FederatedSpec, federated_records
+from repro.workloads.swf import load_swf, parse_swf, write_swf
+
+TINY_SWF = Path(__file__).parent / "data" / "tiny.swf"
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        family="synthetic", traces=("LPC-EGEE",), n_orgs=3, duration=600,
+        n_repeats=2, scale=0.08, seed=1,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_spec(machine_dist="pareto")
+        with pytest.raises(ValueError):
+            tiny_spec(n_repeats=0)
+        with pytest.raises(ValueError):
+            tiny_spec(traces=())
+        with pytest.raises(ValueError):
+            tiny_spec(metrics=())
+
+    def test_content_hash_stable_and_sensitive(self):
+        a, b = tiny_spec(), tiny_spec()
+        assert a.content_hash() == b.content_hash()
+        for change in (
+            {"seed": 2},
+            {"duration": 601},
+            {"portfolio": "fast"},
+            {"metrics": ("avg_delay", "unfairness")},
+            {"org_counts": (2, 3)},
+        ):
+            assert tiny_spec(**change).content_hash() != a.content_hash()
+
+    def test_instance_enumeration(self):
+        spec = tiny_spec(traces=("A", "B"), n_repeats=3)
+        insts = spec.instances()
+        assert len(insts) == 6
+        assert [i.index for i in insts] == list(range(6))
+        assert len({i.key for i in insts}) == 6
+
+    def test_sweep_variants(self):
+        spec = tiny_spec(org_counts=(2, 4), zipf_exponents=(1.0, 2.0))
+        insts = spec.instances()
+        assert len(insts) == 2 * 2 * 2
+        variants = {i.variant for i in insts}
+        assert (("n_orgs", 2), ("zipf_exponent", 1.0)) in variants
+        assert insts[0].param("n_orgs", None) == 2
+
+    def test_derive_rng_cross_process_stable(self):
+        # crc32-derived seeds must not depend on interpreter hash state
+        assert derive_rng("x/0/1").integers(0, 1 << 30) == derive_rng(
+            "x/0/1"
+        ).integers(0, 1 << 30)
+
+
+class TestRegistry:
+    def test_builtin_registrations(self):
+        assert {"synthetic", "swf", "federated", "churn"} <= set(FAMILIES)
+        assert {"paper", "fast", "contribution"} <= set(PORTFOLIOS)
+        for name in ("table1", "table2", "figure10", "churn", "federated", "swf"):
+            assert get_scenario(name).spec.family in FAMILIES
+
+    def test_unknown_names_raise_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_family("nope")
+        with pytest.raises(KeyError, match="available"):
+            get_portfolio("nope")
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("nope")
+
+    def test_scenario_spec_overrides(self):
+        spec = scenario_spec("table1", duration=123, seed=9, scale=0.5)
+        assert (spec.duration, spec.seed, spec.scale) == (123, 9, 0.5)
+        # None overrides are ignored (CLI flags left at default)
+        assert scenario_spec("table1", duration=None) == get_scenario("table1").spec
+
+    def test_paper_portfolio_matches_table_rows(self):
+        names = [a.name for a in get_portfolio("paper")(100, 0)]
+        assert names == [
+            "RoundRobin", "Rand(N=15)", "DirectContr",
+            "FairShare", "UtFairShare", "CurrFairShare",
+        ]
+
+
+class TestStreamingStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(3.0, 2.0, size=257)
+        s = StreamingStats()
+        for x in xs:
+            s.push(float(x))
+        assert s.n == len(xs)
+        assert s.mean == pytest.approx(float(xs.mean()), rel=1e-12)
+        assert s.std == pytest.approx(float(xs.std()), rel=1e-12)
+
+    def test_empty(self):
+        assert StreamingStats().as_tuple() == (0, 0.0, 0.0)
+
+
+class TestPipelineExecution:
+    def test_serial_parallel_bit_identical(self):
+        spec = tiny_spec()
+        serial = run_pipeline(spec, workers=1, keep_instances=True)
+        parallel = run_pipeline(spec, workers=2, keep_instances=True)
+        assert serial.instances == parallel.instances
+        assert serial.aggregates == parallel.aggregates
+
+    def test_aggregates_match_instances(self):
+        spec = tiny_spec(n_repeats=3)
+        result = run_pipeline(spec, keep_instances=True)
+        for alg in result.algorithms():
+            vals = [r.metrics["avg_delay"][alg] for r in result.instances]
+            mean, std = result.mean_std("LPC-EGEE", alg)
+            assert mean == pytest.approx(float(np.mean(vals)), rel=1e-12)
+            assert std == pytest.approx(float(np.std(vals)), rel=1e-12)
+
+    def test_memory_default_drops_instances(self):
+        result = run_pipeline(tiny_spec())
+        assert result.instances is None
+
+    def test_matches_legacy_serial_loop(self):
+        """The pipeline must be bit-compatible with the pre-pipeline
+        hand-rolled experiment loop (same crc32 seed scheme)."""
+        import zlib
+
+        from repro.experiments.harness import (
+            ExperimentConfig,
+            default_algorithms,
+            run_instance,
+            sample_instance,
+        )
+
+        spec = tiny_spec()
+        config = ExperimentConfig(
+            traces=spec.traces, n_orgs=spec.n_orgs, duration=spec.duration,
+            n_repeats=spec.n_repeats, scale=spec.scale, seed=spec.seed,
+        )
+        expected = []
+        for trace in spec.traces:
+            for rep in range(spec.n_repeats):
+                rng = np.random.default_rng(
+                    zlib.crc32(f"{trace}/{rep}/{spec.seed}".encode())
+                )
+                wl = sample_instance(trace, config, rng)
+                algs = default_algorithms(
+                    spec.duration, int(rng.integers(0, 2**31 - 1))
+                )
+                expected.append(run_instance(wl, spec.duration, algs))
+        result = run_pipeline(spec, keep_instances=True)
+        assert [r.metrics["avg_delay"] for r in result.instances] == expected
+
+
+class TestCacheResume:
+    def test_full_resume_recomputes_zero(self, tmp_path):
+        spec = tiny_spec()
+        first = run_pipeline(spec, cache_dir=tmp_path, keep_instances=True)
+        assert (first.computed, first.cached) == (2, 0)
+        again = run_pipeline(spec, cache_dir=tmp_path, keep_instances=True)
+        assert (again.computed, again.cached) == (0, 2)
+        assert again.instances == first.instances
+        assert again.aggregates == first.aggregates
+
+    def test_killed_run_resumes_from_flushed_lines(self, tmp_path):
+        """Simulate a kill mid-run: keep the first flushed line plus a torn
+        partial line; the resumed run must recompute only the missing
+        instance and reproduce the original results exactly."""
+        spec = tiny_spec()
+        full = run_pipeline(spec, cache_dir=tmp_path, keep_instances=True)
+        cache = cache_path_for(spec, tmp_path)
+        lines = cache.read_text().splitlines()
+        assert len(lines) == 2
+        cache.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        resumed = run_pipeline(spec, cache_dir=tmp_path, keep_instances=True)
+        assert (resumed.computed, resumed.cached) == (1, 1)
+        assert resumed.instances == full.instances
+
+    def test_no_resume_recomputes(self, tmp_path):
+        spec = tiny_spec()
+        run_pipeline(spec, cache_dir=tmp_path)
+        fresh = run_pipeline(spec, cache_dir=tmp_path, resume=False)
+        assert fresh.computed == 2
+
+    def test_spec_edit_invalidates_cache(self, tmp_path):
+        run_pipeline(tiny_spec(), cache_dir=tmp_path)
+        other = run_pipeline(tiny_spec(seed=2), cache_dir=tmp_path)
+        assert other.cached == 0
+        assert len(list(Path(tmp_path).glob("*.jsonl"))) == 2
+
+    def test_instance_result_json_roundtrip(self):
+        spec = tiny_spec(org_counts=(2,), family="churn")
+        result = run_instance_spec(spec, spec.instances()[0])
+        back = PipelineInstanceResult.from_json(
+            json.loads(json.dumps(result.to_json()))
+        )
+        assert back == result
+
+
+class TestSwfFamily:
+    def test_fixture_round_trips(self, tmp_path):
+        trace = load_swf(TINY_SWF)
+        assert len(trace) > 100 and trace.max_procs == 6
+        rewritten = tmp_path / "again.swf"
+        write_swf(trace, rewritten)
+        again = load_swf(rewritten)
+        assert again.jobs == trace.jobs and again.header == trace.header
+        assert parse_swf(TINY_SWF.read_text()).jobs == trace.jobs
+
+    def test_swf_end_to_end_serial_equals_parallel(self, tmp_path):
+        """The satellite acceptance test: a real SWF file flows through
+        parsing -> Workload construction -> the pipeline, and a workers>1
+        run is bit-identical to serial, including after a cache resume."""
+        spec = dataclasses.replace(
+            scenario_spec("swf", swf_path=str(TINY_SWF)),
+            traces=("tiny",), n_orgs=3, duration=400, n_repeats=2,
+            portfolio="fast",
+        )
+        serial = run_pipeline(spec, keep_instances=True)
+        parallel = run_pipeline(
+            spec, workers=2, cache_dir=tmp_path, keep_instances=True
+        )
+        assert serial.instances == parallel.instances
+        resumed = run_pipeline(
+            spec, workers=2, cache_dir=tmp_path, keep_instances=True
+        )
+        assert resumed.computed == 0
+        assert resumed.instances == serial.instances
+        for inst in serial.instances:
+            assert inst.n_machines == 6
+            assert inst.n_jobs > 0
+
+    def test_swf_family_requires_path(self):
+        spec = scenario_spec("swf")
+        with pytest.raises(ValueError, match="swf_path"):
+            run_instance_spec(spec, spec.instances()[0])
+
+
+class TestFederatedFamily:
+    def test_records_deterministic_and_partitioned(self):
+        fspec = FederatedSpec(n_orgs=3, horizon=2_000, users_per_org=4)
+        a, map_a = federated_records(fspec, np.random.default_rng(5))
+        b, map_b = federated_records(fspec, np.random.default_rng(5))
+        assert a == b and map_a == map_b
+        # users are partitioned per provider and every record is mapped
+        assert set(map_a.values()) == {0, 1, 2}
+        for r in a:
+            assert r.user in map_a
+            assert 0 <= r.submit < fspec.horizon
+            assert r.cpus == 1
+
+    def test_staggered_peaks(self):
+        """Provider demand peaks must be phase-shifted: the circular mean
+        submit phase of each provider differs from its neighbours'."""
+        fspec = FederatedSpec(
+            n_orgs=2, horizon=4_000, day_length=4_000, peak_amplitude=1.0,
+            users_per_org=6,
+        )
+        records, user_map = federated_records(fspec, np.random.default_rng(2))
+        phases = []
+        for org in (0, 1):
+            submits = np.array(
+                [r.submit for r in records if user_map[r.user] == org]
+            )
+            angle = 2 * np.pi * submits / fspec.day_length
+            phases.append(
+                np.arctan2(np.sin(angle).mean(), np.cos(angle).mean())
+            )
+        gap = abs(phases[0] - phases[1]) % (2 * np.pi)
+        gap = min(gap, 2 * np.pi - gap)
+        assert gap > np.pi / 2  # half-day apart for k=2
+
+    def test_federated_through_pipeline(self):
+        spec = dataclasses.replace(
+            scenario_spec("federated"),
+            duration=600, n_repeats=2, portfolio="fast", metrics=("avg_delay",),
+        )
+        serial = run_pipeline(spec, keep_instances=True)
+        parallel = run_pipeline(spec, workers=2, keep_instances=True)
+        assert serial.instances == parallel.instances
+        k = spec.n_orgs
+        for inst in serial.instances:
+            assert inst.n_machines == k * 5  # uniform machines_per_org=5
+
+
+class TestChurnFamily:
+    def test_common_random_number_windows(self):
+        """The churn family's CRN design: cells of one repeat share the
+        trace window, so job counts differ only through the assignment."""
+        spec = tiny_spec(
+            family="churn", org_counts=(2, 3), n_repeats=1, duration=500,
+        )
+        results = [
+            run_instance_spec(spec, inst) for inst in spec.instances()
+        ]
+        # same window -> the union of jobs comes from the same records;
+        # machine pool identical across k
+        assert len({r.n_machines for r in results}) == 1
+
+    def test_figure10_matches_legacy_scheme(self):
+        """figure10 through the pipeline reproduces the documented legacy
+        seed scheme (window key independent of k, assignment key
+        trace/k/rep/seed)."""
+        import zlib
+
+        from repro.experiments.figures import figure10
+        from repro.experiments.harness import (
+            ExperimentConfig,
+            assign_instance,
+            default_algorithms,
+            run_instance,
+            sample_window,
+        )
+
+        trace, duration, seed = "LPC-EGEE", 500, 0
+        xs, series = figure10(
+            (2, 3), trace=trace, duration=duration, n_repeats=1,
+            scale=0.08, seed=seed,
+        )
+        base = ExperimentConfig(
+            traces=(trace,), duration=duration, n_repeats=1, scale=0.08,
+            seed=seed,
+        )
+        window = sample_window(
+            trace, base,
+            np.random.default_rng(
+                zlib.crc32(f"{trace}/window/0/{seed}".encode())
+            ),
+        )
+        for xi, k in enumerate((2, 3)):
+            cfg = ExperimentConfig(
+                traces=(trace,), n_orgs=k, duration=duration, n_repeats=1,
+                scale=0.08, seed=seed,
+            )
+            records, gen_spec, t_start = window
+            rng = np.random.default_rng(
+                zlib.crc32(f"{trace}/{k}/0/{seed}".encode())
+            )
+            wl = assign_instance(records, gen_spec, t_start, cfg, rng)
+            algs = default_algorithms(
+                duration, int(rng.integers(0, 2**31 - 1))
+            )
+            expected = run_instance(wl, duration, algs)
+            for alg, val in expected.items():
+                assert series[alg][xi] == val
