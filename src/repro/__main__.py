@@ -1,7 +1,15 @@
-"""``python -m repro`` entry point (see :mod:`repro.cli`)."""
+"""``python -m repro`` entry point.
+
+Delegates to :func:`repro.cli.main`, the exact argparse tree the
+``repro`` console script uses, so both entry points behave identically.
+The call is guarded: merely importing ``repro.__main__`` (tooling,
+pickling, ``runpy`` introspection) must not parse ``sys.argv`` or exit
+the interpreter.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -188,6 +188,15 @@ class PolicyScheduler(Scheduler):
     def on_run_start(self, engine: ClusterEngine) -> None:
         """Per-run initialization hook (reset mutable policy state)."""
 
+    def on_cluster_change(self, engine: ClusterEngine) -> None:
+        """Refresh state derived from the pool or member set.
+
+        The online service calls this after dynamic membership / machine
+        mutations (the batch path never does: its cluster is frozen).
+        Unlike :meth:`on_run_start` this must *not* reset decision history
+        -- only re-derive quantities such as target shares.
+        """
+
     @abstractmethod
     def select(self, engine: ClusterEngine) -> int:
         """Choose the organization whose FIFO-head job starts now."""

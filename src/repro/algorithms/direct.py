@@ -95,6 +95,14 @@ class DirectContributionScheduler(PolicyScheduler):
         self._tprev = 0
         self._completed_seen = 0
 
+    def on_cluster_change(self, engine: ClusterEngine) -> None:
+        # online org admission can grow the org-id range; the faithful-mode
+        # counters must cover it (newcomers start at zero, history kept)
+        grow = engine.n_orgs - len(self._phi)
+        if grow > 0:
+            for counters in (self._fin_ut, self._fin_con, self._phi, self._psi):
+                counters.extend([0] * grow)
+
     # the select() hook is unused: scheduling is machine-driven
     def select(self, engine: ClusterEngine) -> int:  # pragma: no cover
         raise RuntimeError("DirectContr schedules per machine")

@@ -52,6 +52,17 @@ class _ShareBased(PolicyScheduler):
             (c / total) if total else 0.0 for c in counts
         )
 
+    def on_cluster_change(self, engine: ClusterEngine) -> None:
+        # Online membership / pool mutations move the target shares; derive
+        # them from the engine's *live* machine census (the workload only
+        # describes the genesis endowments).
+        counts = engine.machine_counts()
+        total = sum(counts[u] for u in engine.members)
+        self._shares = tuple(
+            (counts[u] / total) if total and u in engine.members else 0.0
+            for u in range(engine.n_orgs)
+        )
+
     def _measure(self, engine: ClusterEngine, org: int) -> float:
         raise NotImplementedError
 

@@ -32,7 +32,7 @@ compared as exact integers scaled by ``N``
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -48,7 +48,84 @@ from .base import (
 )
 from .greedy import fifo_select
 
-__all__ = ["RandScheduler"]
+__all__ = ["RandScheduler", "RandRun"]
+
+
+class RandRun:
+    """One RAND run's state plus its per-event body (paper Fig. 6).
+
+    ``Prepare`` happens at construction: ``N`` joining orders are drawn
+    from ``rng`` and the de-duplicated prefix coalitions become the value
+    *oracle* fleet (each engine driven by its own greedy FIFO schedule).
+    The actual RAND schedule lives on the *carrier* fleet's grand engine.
+
+    Like :class:`~repro.algorithms.ref.RefRun`, construction runs nothing:
+    the batch path calls :meth:`drive`, the online service calls
+    :meth:`step` per decision time.  ``oracle_factory`` / ``fleet`` let the
+    online service own the fleets: the factory receives the sampled masks
+    (known only once the orderings are drawn) and must return a fleet
+    containing exactly those coalitions, built from dynamic cluster state.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        members_t: tuple[int, ...],
+        grand_mask: int,
+        n_orderings: int,
+        rng: np.random.Generator,
+        horizon: int | None,
+        *,
+        oracle_factory: "Callable[[list[int]], CoalitionFleet] | None" = None,
+        fleet: CoalitionFleet | None = None,
+    ) -> None:
+        self.members_t = members_t
+        self.grand_mask = grand_mask
+        self.n_orderings = n_orderings
+        member_arr = np.array(members_t, dtype=np.int64)
+        orderings = np.stack(
+            [rng.permutation(member_arr) for _ in range(n_orderings)]
+        )
+        self.prefixes = SampledPrefixes(workload.n_orgs, orderings)
+        self.sampled = sorted(m for m in self.prefixes.masks if m)
+        self.oracle = (
+            oracle_factory(self.sampled)
+            if oracle_factory is not None
+            else CoalitionFleet(
+                workload, self.sampled, horizon=horizon, track_events=False
+            )
+        )
+        self.fleet = (
+            fleet
+            if fleet is not None
+            else CoalitionFleet(workload, (grand_mask,), horizon=horizon)
+        )
+        self.grand = self.fleet.engine(grand_mask)
+
+    def drive(self) -> int:
+        """Run the carrier's decision loop to exhaustion / the horizon."""
+        return drive_fleet(self.fleet, self._on_event)
+
+    def step(self, t: int) -> None:
+        """Process one decision time (the online service's entry point)."""
+        self._on_event(self.fleet, t)
+
+    def _on_event(self, fleet: CoalitionFleet, t: int) -> None:
+        fleet.advance_all(t)
+        grand = self.grand
+        if grand.free_count == 0 or not grand.has_waiting():
+            # keep the oracle engines lazily behind; they are only
+            # needed at decision times
+            return
+        values = self.oracle.values_at(t, select=fifo_select)
+        # contribution estimate scaled by N (exact integers)
+        phi_scaled = self.prefixes.estimate_scaled(values)
+        psis = grand.psis(t)
+        keys = {
+            u: phi_scaled[u] - self.n_orderings * psis[u]
+            for u in self.members_t
+        }
+        fill_capacity(fleet, self.grand_mask, keys)
 
 
 class RandScheduler(Scheduler):
@@ -102,53 +179,23 @@ class RandScheduler(Scheduler):
             if isinstance(self._seed, np.random.Generator)
             else np.random.default_rng(self._seed)
         )
-        member_arr = np.array(members_t, dtype=np.int64)
-
-        # Prepare (Fig. 6): sample N joining orders and collect the prefix
-        # coalition pairs per organization (de-duplicated masks).
-        orderings = np.stack(
-            [rng.permutation(member_arr) for _ in range(self.n_orderings)]
+        run = RandRun(
+            workload,
+            members_t,
+            grand_mask,
+            self.n_orderings,
+            rng,
+            self.horizon,
         )
-        prefixes = SampledPrefixes(workload.n_orgs, orderings)
-        sampled = sorted(m for m in prefixes.masks if m)
-
-        # The value oracle: one FIFO-driven engine per sampled coalition,
-        # advanced lazily -- note the grand *mask* is sampled too (every
-        # ordering ends in it), but its oracle engine runs plain FIFO and is
-        # distinct from the engine carrying the RAND schedule below.
-        oracle = CoalitionFleet(
-            workload, sampled, horizon=self.horizon, track_events=False
-        )
-        # The schedule carrier: its queue seeds the decision loop and
-        # receives every started job's completion time.
-        fleet = CoalitionFleet(workload, (grand_mask,), horizon=self.horizon)
-        grand = fleet.engine(grand_mask)
-
-        def on_event(fleet: CoalitionFleet, t: int) -> None:
-            fleet.advance_all(t)
-            if grand.free_count == 0 or not grand.has_waiting():
-                # keep the oracle engines lazily behind; they are only
-                # needed at decision times
-                return
-            values = oracle.values_at(t, select=fifo_select)
-            # contribution estimate scaled by N (exact integers)
-            phi_scaled = prefixes.estimate_scaled(values)
-            psis = grand.psis(t)
-            keys = {
-                u: phi_scaled[u] - self.n_orderings * psis[u]
-                for u in members_t
-            }
-            fill_capacity(fleet, grand_mask, keys)
-
-        drive_fleet(fleet, on_event)
+        run.drive()
         return SchedulerResult(
             algorithm=self.name,
             workload=workload,
             members=members_t,
-            schedule=grand.schedule(),
+            schedule=run.grand.schedule(),
             horizon=self.horizon,
             meta={
                 "n_orderings": self.n_orderings,
-                "n_coalitions": len(sampled),
+                "n_coalitions": len(run.sampled),
             },
         )

@@ -68,7 +68,7 @@ from .base import (
     members_mask,
 )
 
-__all__ = ["RefScheduler", "GeneralRefScheduler", "update_vals_scaled"]
+__all__ = ["RefScheduler", "GeneralRefScheduler", "RefRun", "update_vals_scaled"]
 
 #: Coalition size from which REF uses the numpy value/contribution path;
 #: below it the per-event array overhead exceeds the Python loops it
@@ -144,10 +144,19 @@ def update_vals_scaled(mask: int, values: dict[int, int]) -> dict[int, int]:
     return phi
 
 
-class _RefRun:
-    """One complete REF recursion: a :class:`CoalitionFleet` of engines for
-    every nonempty subcoalition, driven to the horizon by the shared
-    decision loop.  Exposes the grand engine and contribution state."""
+class RefRun:
+    """One REF recursion: a :class:`CoalitionFleet` of engines for every
+    nonempty subcoalition plus the per-event Fig. 1 body.  Exposes the
+    grand engine and contribution state.
+
+    Construction no longer runs anything: the batch path calls
+    :meth:`drive` (run to the horizon through the shared decision loop),
+    while the online service steps the same per-event body one decision
+    time at a time (:meth:`step`) as events stream in.  ``fleet`` injects
+    an externally owned fleet (the service builds engines from dynamic
+    cluster state); it must cover every nonempty submask of
+    ``grand_mask``.
+    """
 
     def __init__(
         self,
@@ -155,6 +164,8 @@ class _RefRun:
         members_t: tuple[int, ...],
         grand_mask: int,
         horizon: int | None,
+        *,
+        fleet: CoalitionFleet | None = None,
     ) -> None:
         self.workload = workload
         self.members_t = members_t
@@ -162,7 +173,11 @@ class _RefRun:
         self.horizon = horizon
         self.size_groups = subsets_by_size(grand_mask)
         self.nonempty = [m for group in self.size_groups[1:] for m in group]
-        self.fleet = CoalitionFleet(workload, self.nonempty, horizon=horizon)
+        self.fleet = (
+            fleet
+            if fleet is not None
+            else CoalitionFleet(workload, self.nonempty, horizon=horizon)
+        )
         self._vectorize = popcount(grand_mask) >= VECTORIZE_MIN_K
         # the coefficient-matrix solver only serves the numpy path; below
         # the dispatch threshold its construction would be pure overhead
@@ -172,7 +187,19 @@ class _RefRun:
             else None
         )
         self.last_phi_scaled: dict[int, int] = {}
-        self.last_event: int = drive_fleet(self.fleet, self._on_event)
+        self.last_event: int = 0
+
+    def drive(self) -> int:
+        """Run the shared decision loop to exhaustion / the horizon and
+        return the last processed event time (the batch entry point)."""
+        self.last_event = drive_fleet(self.fleet, self._on_event)
+        return self.last_event
+
+    def step(self, t: int) -> None:
+        """Process one decision time (the online service's entry point):
+        advance every subcoalition, recompute contributions, schedule."""
+        self.last_event = t
+        self._on_event(self.fleet, t)
 
     def _on_event(self, fleet: CoalitionFleet, t: int) -> None:
         """Fig. 1's per-event body: batched values, then size-ordered
@@ -273,7 +300,8 @@ class RefScheduler(Scheduler):
     ) -> SchedulerResult:
         """Build the exact fair schedule for the coalition ``members``."""
         members_t, grand_mask = members_mask(workload, members)
-        run = _RefRun(workload, members_t, grand_mask, self.horizon)
+        run = RefRun(workload, members_t, grand_mask, self.horizon)
+        run.drive()
         meta: dict = {}
         if self.collect_contributions:
             t_eval = (
@@ -305,7 +333,8 @@ class RefScheduler(Scheduler):
         ``v(C, t)`` that the REF schedule chases (Definition 3.1).
         """
         members_t, grand_mask = members_mask(workload, members)
-        run = _RefRun(workload, members_t, grand_mask, horizon=t)
+        run = RefRun(workload, members_t, grand_mask, horizon=t)
+        run.drive()
         return run.contributions_at(t)
 
 

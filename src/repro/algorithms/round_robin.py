@@ -15,23 +15,32 @@ __all__ = ["RoundRobinScheduler"]
 
 
 class RoundRobinScheduler(PolicyScheduler):
-    """Cyclic selection over organizations (skipping empty queues)."""
+    """Cyclic selection over organizations (skipping empty queues).
+
+    The cursor is the *organization id* last served, not a position in
+    the member tuple: under online membership changes a positional
+    pointer would silently re-aim at a different organization when the
+    tuple shifts, whereas "first waiting member cyclically after org u"
+    stays well-defined even if u itself has left.  On a fixed member set
+    the two formulations are identical (the member tuple is ascending).
+    """
 
     name = "RoundRobin"
 
     def __init__(self, horizon: int | None = None):
         super().__init__(horizon)
-        self._pointer = 0
+        self._last_served = -1
 
     def on_run_start(self, engine: ClusterEngine) -> None:
-        self._pointer = 0
+        self._last_served = -1
 
     def select(self, engine: ClusterEngine) -> int:
         members = engine.members
-        n = len(members)
-        for off in range(n):
-            u = members[(self._pointer + off) % n]
+        ordered = [u for u in members if u > self._last_served] + [
+            u for u in members if u <= self._last_served
+        ]
+        for u in ordered:
             if engine.waiting_count(u) > 0:
-                self._pointer = (self._pointer + off + 1) % n
+                self._last_served = u
                 return u
         raise RuntimeError("select called with no waiting jobs")

@@ -12,12 +12,18 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro figure10 [--orgs 2,3,4,5]
     repro scenarios         # list the scenario registry
     repro run NAME [--workers N --cache-dir DIR ...]   # any scenario
+    repro replay NAME [--policy P --snapshot-every N]  # online service proof
+    repro serve --orgs 2,1 [--policy P]                # JSONL scheduler daemon
 
 ``run`` executes any registered scenario (``repro scenarios`` lists them)
 through the experiment pipeline: instances fan out over ``--workers``
 processes, checkpoint to ``--cache-dir``, and a re-run resumes instead of
-recomputing.  Every command prints the paper-layout output used in
-EXPERIMENTS.md.
+recomputing.  ``replay`` streams one scenario instance through the online
+:class:`~repro.service.ClusterService` as timed events, optionally
+kill/restoring from snapshots along the way, and verifies the result is
+bit-identical to the batch scheduler (exit code 1 if not).  ``serve``
+runs the service as a line-oriented JSONL daemon on stdin/stdout.  Every
+command prints the paper-layout output used in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -109,6 +115,49 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-instance progress lines")
     _add_pipeline_flags(run)
+
+    rp = sub.add_parser(
+        "replay",
+        help="stream a scenario instance through the online service and "
+             "verify bit-identical equivalence with the batch scheduler",
+    )
+    rp.add_argument("scenario", help="a name from `repro scenarios`")
+    rp.add_argument("--policy", default="directcontr",
+                    help="service policy (ref, rand, directcontr, fifo, "
+                         "roundrobin, fairshare, utfairshare, currfairshare)")
+    rp.add_argument("--instance", type=int, default=0,
+                    help="which enumerated instance of the scenario to replay")
+    rp.add_argument("--snapshot-every", type=int, default=None,
+                    dest="snapshot_every", metavar="N",
+                    help="kill the service and restore it from a snapshot "
+                         "after every N release groups")
+    rp.add_argument("--metrics", default=None,
+                    help="comma-separated metric names to score against the "
+                         "exact REF reference")
+    rp.add_argument("--no-verify", action="store_true",
+                    help="skip the batch-equivalence check (pure throughput)")
+    rp.add_argument("--duration", type=int, default=None)
+    rp.add_argument("--orgs", type=int, default=None, dest="n_orgs")
+    rp.add_argument("--repeats", type=int, default=None, dest="n_repeats")
+    rp.add_argument("--scale", type=float, default=None)
+    rp.add_argument("--seed", type=int, default=None)
+    rp.add_argument("--swf", default=None, dest="swf_path",
+                    help="SWF file path (swf-family scenarios)")
+
+    srv = sub.add_parser(
+        "serve", help="run the online scheduler as a JSONL stdin/stdout daemon"
+    )
+    srv.add_argument("--orgs", default="2,1",
+                     help="genesis machine counts per organization, e.g. 3,2,2")
+    srv.add_argument("--policy", default="directcontr")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--horizon", type=int, default=None)
+    srv.add_argument("--restore", default=None, metavar="SNAPSHOT",
+                     help="resume from a snapshot file instead of genesis "
+                          "(--orgs/--policy/--seed are then taken from it)")
+    srv.add_argument("--snapshot-to", default=None, dest="snapshot_to",
+                     metavar="FILE",
+                     help="write a final snapshot when the loop ends")
     return parser
 
 
@@ -296,6 +345,55 @@ def _cmd_run(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .service import replay_scenario
+
+    overrides = {
+        k: getattr(args, k)
+        for k in ("duration", "n_orgs", "n_repeats", "scale", "seed", "swf_path")
+        if getattr(args, k) is not None
+    }
+    metrics = (
+        tuple(args.metrics.split(",")) if args.metrics is not None else None
+    )
+    report = replay_scenario(
+        args.scenario,
+        instance_index=args.instance,
+        policy=args.policy,
+        snapshot_every=args.snapshot_every,
+        check_batch=not args.no_verify,
+        metrics=metrics,
+        **overrides,
+    )
+    print(f"replay: {args.scenario}[{args.instance}] through the online service")
+    print(report.summary())
+    return 0 if report.equivalent in (True, None) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ClusterService
+    from .service.daemon import serve_loop
+    from .service.snapshot import load_snapshot
+
+    if args.restore is not None:
+        service = ClusterService.restore(load_snapshot(args.restore))
+    else:
+        counts = tuple(int(v) for v in args.orgs.split(","))
+        service = ClusterService(
+            counts, args.policy, seed=args.seed, horizon=args.horizon
+        )
+    status = service.status()
+    print(
+        f"serving policy={status['policy']} members={status['members']} "
+        f"clock={status['clock']} (one JSON command per line; "
+        '{"op": "stop"} or EOF ends)',
+        file=sys.stderr,
+        flush=True,
+    )
+    serve_loop(service, sys.stdin, sys.stdout, snapshot_to=args.snapshot_to)
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figure2":
@@ -316,6 +414,10 @@ def main(argv: "list[str] | None" = None) -> int:
         _cmd_scenarios()
     elif args.command == "run":
         _cmd_run(args)
+    elif args.command == "replay":
+        return _cmd_replay(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

@@ -31,11 +31,22 @@ Design notes (see DESIGN.md §2):
   to cost.
 * **Non-clairvoyance**: scheduler-facing accessors never expose the size of
   a running job; sizes become visible only through completion.
+* **Dynamic mutation** (DESIGN.md §6): the online service feeds the engine
+  incrementally instead of freezing everything at construction.
+  :meth:`ClusterEngine.submit` inserts a job into the unprocessed stream
+  suffix (bit-identical with a frozen stream whenever submission happens no
+  later than release); :meth:`ClusterEngine.add_machine` /
+  :meth:`ClusterEngine.retire_machine` grow and drain the pool (a busy
+  machine finishes its job, then retires); :meth:`ClusterEngine.add_member`
+  / :meth:`ClusterEngine.remove_member` change the coalition, withdrawing a
+  leaver's unstarted jobs while running jobs complete (non-preemption) and
+  its history stays in every ledger.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from collections import deque
 from typing import Iterable, Sequence
 
@@ -133,6 +144,11 @@ class ClusterEngine:
         self.t = 0
         self._busy: list[tuple[int, int]] = []  # (finish, machine) heap
         self._running: dict[int, RunningJob] = {}  # machine -> RunningJob
+        # dynamic-pool bookkeeping: machines draining (busy, retire at
+        # completion) and machines fully retired (kept in machine_owner so
+        # retrospective by-owner attribution of their past work still works)
+        self._retiring: set[int] = set()
+        self._retired: set[int] = set()
 
         # --- psi_sp aggregates (exact ints) --------------------------------
         # by job owner
@@ -203,8 +219,13 @@ class ClusterEngine:
             finish, machine = heapq.heappop(self._busy)
             run = self._running.pop(machine)
             self._complete(run)
-            heapq.heappush(self._free, machine)
-            self._free_set.add(machine)
+            if machine in self._retiring:
+                self._retiring.discard(machine)
+                self._retired.add(machine)
+                self.n_machines -= 1
+            else:
+                heapq.heappush(self._free, machine)
+                self._free_set.add(machine)
         while (
             self._stream_pos < len(self._stream)
             and self._stream[self._stream_pos].release <= t
@@ -422,6 +443,152 @@ class ClusterEngine:
         entry = ScheduledJob(self.t, machine, job)
         self._log.append(entry)
         return entry
+
+    # ------------------------------------------------------------------
+    # dynamic mutation (online service, DESIGN.md §6)
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Inject a job into the unprocessed stream (online ingestion).
+
+        The job must belong to a current member and must not be released in
+        the engine's past (``job.release >= self.t``) -- the service clamps
+        stale releases before calling.  Insertion keeps the stream suffix in
+        canonical :class:`~repro.core.job.Job` order, so an engine fed one
+        job at a time is bit-identical to an engine constructed with the
+        full frozen stream (the replay == batch equivalence lever).
+        """
+        if job.org not in self._pending:
+            raise ValueError(f"org {job.org} is not a member of this engine")
+        if job.release < self.t:
+            raise ValueError(
+                f"cannot submit into the past (release {job.release} < "
+                f"engine time {self.t})"
+            )
+        insort(self._stream, job, lo=self._stream_pos)
+
+    def add_machine(self, machine: int, owner: int) -> None:
+        """Add a (free) machine with a service-assigned global id."""
+        if machine in self.machine_owner:
+            raise ValueError(f"machine id {machine} already known")
+        if owner not in self._pending:
+            raise ValueError(f"org {owner} is not a member of this engine")
+        self.machine_owner[machine] = owner
+        self.n_machines += 1
+        heapq.heappush(self._free, machine)
+        self._free_set.add(machine)
+
+    def retire_machine(self, machine: int) -> None:
+        """Remove a machine from the pool.
+
+        A free machine retires immediately (its heap entry is lazily
+        deleted); a busy machine *drains* -- it finishes its running job
+        (non-preemption) and retires at that completion instead of
+        returning to the free pool.  Historical attribution is unaffected:
+        the ownership record is kept for retrospective by-owner queries.
+        """
+        if machine in self._free_set:
+            self._free_set.discard(machine)
+            self._retired.add(machine)
+            self.n_machines -= 1
+        elif machine in self._running:
+            self._retiring.add(machine)
+        elif machine in self.machine_owner:
+            raise ValueError(f"machine {machine} is already retired")
+        else:
+            raise ValueError(f"unknown machine {machine}")
+
+    def machine_counts(self) -> list[int]:
+        """Live machines per organization (length ``n_orgs``); draining
+        machines count until their running job completes."""
+        out = [0] * self.n_orgs
+        for machine, owner in self.machine_owner.items():
+            if machine not in self._retired:
+                out[owner] += 1
+        return out
+
+    def add_member(self, org: int) -> None:
+        """Admit an organization (id may extend the known range).
+
+        The newcomer starts with no machines and no jobs; use
+        :meth:`add_machine` / :meth:`submit` for its endowment and stream.
+        Per-organization ledgers grow with zeros -- the newcomer's utility
+        history begins at admission.
+        """
+        if org in self._pending:
+            raise ValueError(f"org {org} is already a member")
+        if org < 0:
+            raise ValueError(f"org must be >= 0, got {org}")
+        if org >= self.n_orgs:
+            grow = org + 1 - self.n_orgs
+            for ledger in (
+                self._done_units,
+                self._done_wstart,
+                self._done_units_mach,
+                self._done_wstart_mach,
+            ):
+                ledger.extend([0] * grow)
+            self.n_orgs = org + 1
+        self.members = tuple(sorted((*self.members, org)))
+        self._pending[org] = deque()
+
+    def fork(self) -> "ClusterEngine":
+        """An independent copy of this engine's full simulation state.
+
+        Mutable containers are copied, immutable records (the workload,
+        jobs, schedule entries, write-once running-job records) are
+        shared.  The online service forks the grand coalition's engine at
+        a membership epoch: the original grows into the new coalition
+        while the fork continues the old mask's counterfactual.
+        """
+        clone = object.__new__(ClusterEngine)
+        clone.workload = self.workload
+        clone.n_orgs = self.n_orgs
+        clone.members = self.members
+        clone.horizon = self.horizon
+        clone.machine_owner = dict(self.machine_owner)
+        clone.n_machines = self.n_machines
+        clone._free = list(self._free)
+        clone._free_set = set(self._free_set)
+        clone._stream = list(self._stream)
+        clone._stream_pos = self._stream_pos
+        clone._pending = {u: deque(q) for u, q in self._pending.items()}
+        clone._n_waiting = self._n_waiting
+        clone.t = self.t
+        clone._busy = list(self._busy)
+        clone._running = dict(self._running)
+        clone._retiring = set(self._retiring)
+        clone._retired = set(self._retired)
+        clone._done_units = list(self._done_units)
+        clone._done_wstart = list(self._done_wstart)
+        clone._done_units_mach = list(self._done_units_mach)
+        clone._done_wstart_mach = list(self._done_wstart_mach)
+        clone._tot_units = self._tot_units
+        clone._tot_wstart = self._tot_wstart
+        clone._run_start_sum = self._run_start_sum
+        clone._run_start_sq = self._run_start_sq
+        clone.version = self.version
+        clone._log = list(self._log)
+        clone._completed = list(self._completed)
+        return clone
+
+    def remove_member(self, org: int) -> None:
+        """Expel an organization: unstarted work is withdrawn.
+
+        Waiting jobs are dropped, not-yet-released jobs are purged from the
+        stream, running jobs complete normally (non-preemption) and every
+        ledger keeps the leaver's history -- coalition values remain exact
+        for the work that actually ran.  The leaver's machines are retired
+        separately (:meth:`retire_machine`), so a caller can choose whether
+        hardware outlives membership.
+        """
+        if org not in self._pending:
+            raise ValueError(f"org {org} is not a member of this engine")
+        self._n_waiting -= len(self._pending[org])
+        self._pending[org].clear()
+        del self._pending[org]
+        self.members = tuple(u for u in self.members if u != org)
+        kept = [j for j in self._stream[self._stream_pos:] if j.org != org]
+        self._stream = self._stream[: self._stream_pos] + kept
 
     # ------------------------------------------------------------------
     # orchestration helpers

@@ -133,18 +133,28 @@ class CoalitionFleet:
         """The engine simulating coalition ``mask``."""
         return self._engines[mask]
 
-    def add_mask(self, mask: int) -> ClusterEngine:
+    def add_mask(
+        self, mask: int, engine: ClusterEngine | None = None
+    ) -> ClusterEngine:
         """Register a coalition (idempotent) and return its engine.
 
         Release times of newly covered organizations are pushed into the
-        shared event queue.
+        shared event queue.  ``engine`` adopts an externally built engine
+        (the online service constructs engines from its *dynamic* cluster
+        state -- machines added at runtime, coalitions formed mid-stream --
+        which the fleet's frozen ``workload`` cannot describe) instead of
+        simulating ``mask`` over ``self.workload`` from time zero.
         """
         if mask in self._engines:
             return self._engines[mask]
         if mask <= 0:
             raise ValueError("coalition mask must be a nonzero bitmask")
         members = list(iter_members(mask))
-        eng = ClusterEngine(self.workload, members, horizon=self.horizon)
+        eng = (
+            engine
+            if engine is not None
+            else ClusterEngine(self.workload, members, horizon=self.horizon)
+        )
         row = len(self._order)
         if row == len(self._seen):
             self._grow()
@@ -159,6 +169,54 @@ class CoalitionFleet:
                     if j.org in new_set:
                         self.events.push(j.release)
         return eng
+
+    def remove_mask(self, mask: int) -> ClusterEngine:
+        """Deregister a coalition and return its (still valid) engine.
+
+        The online service drops coalitions containing a departed
+        organization.  Ledger rows above the removed one shift down in
+        lockstep with :attr:`masks`, so dirty tracking stays aligned; the
+        running column maxima stay (conservatively) as they are.
+        """
+        if mask not in self._engines:
+            raise KeyError(f"mask {mask} is not registered")
+        eng = self._engines.pop(mask)
+        i = self._order.index(mask)
+        self._order.pop(i)
+        n = len(self._order)
+        for name in ("_units", "_wstart", "_rcount", "_rsum", "_rsq", "_seen"):
+            col = getattr(self, name)
+            col[i:n] = col[i + 1 : n + 1]
+            col[n] = -1 if name == "_seen" else 0
+        return eng
+
+    def replace_engine(self, mask: int, engine: ClusterEngine) -> None:
+        """Swap the engine simulating ``mask`` (same coalition, new object).
+
+        The online service uses this to fork a coalition's engine at a
+        membership epoch: the physical engine moves to the grown coalition
+        while a deep copy continues the old mask's counterfactual.  The
+        ledger row is marked dirty so the next query re-mirrors it.
+        """
+        if mask not in self._engines:
+            raise KeyError(f"mask {mask} is not registered")
+        self._engines[mask] = engine
+        self._seen[self._order.index(mask)] = -1
+
+    def submit(self, job) -> None:
+        """Feed one job to every registered engine covering its owner and
+        push its release into the shared decision queue (online ingestion;
+        the batch path instead freezes streams at construction)."""
+        hit = False
+        bit = 1 << job.org
+        for mask in self._order:
+            if mask & bit:
+                self._engines[mask].submit(job)
+                hit = True
+        if not hit:
+            raise ValueError(f"no registered coalition covers org {job.org}")
+        if self._track_events:
+            self.events.push(job.release)
 
     def _grow(self) -> None:
         cap = 2 * len(self._seen)
@@ -177,6 +235,17 @@ class CoalitionFleet:
         """Pop the next decision time from the shared queue (deduplicated),
         or ``None`` when exhausted or at/after the horizon."""
         t = self.events.pop()
+        if t is None:
+            return None
+        if self.horizon is not None and t >= self.horizon:
+            return None
+        return t
+
+    def peek_decision(self) -> int | None:
+        """The next decision time without consuming it (``None`` when
+        exhausted or at/after the horizon) -- how the online service bounds
+        event processing by its ingest clock."""
+        t = self.events.peek()
         if t is None:
             return None
         if self.horizon is not None and t >= self.horizon:

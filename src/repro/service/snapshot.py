@@ -1,0 +1,118 @@
+"""Snapshot format: versioned, content-hashed service checkpoints.
+
+A snapshot captures the service's *sufficient statistic* -- genesis
+configuration, policy identity, the ordered ingest journal and the clock
+-- rather than a dump of every engine's internals (DESIGN.md §6 explains
+the trade).  Restore replays the journal through the production code
+path, so a restored daemon is bit-identical to the killed one by
+construction; the recorded ``schedule_digest`` lets :func:`verify` prove
+it after the fact.
+
+Like :class:`~repro.experiments.spec.ScenarioSpec`, a snapshot is
+content-hashed (canonical JSON, SHA-256, 16 hex chars) so two snapshots
+are interchangeable iff their hashes match, and a corrupted or hand-edited
+file is rejected before any state is rebuilt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .state import ServiceOp
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "content_hash",
+    "schedule_digest",
+    "build_snapshot",
+    "check_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+SNAPSHOT_FORMAT = "repro.service.snapshot"
+
+#: Bump on any change to the payload layout; restore refuses unknown
+#: versions instead of silently misreading them.
+SNAPSHOT_VERSION = 1
+
+
+def content_hash(payload: dict) -> str:
+    """Canonical-JSON SHA-256 of the payload minus its own hash field."""
+    body = {k: v for k, v in payload.items() if k != "content_hash"}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def schedule_digest(entries) -> str:
+    """Digest of a schedule's start log: the output-side fingerprint used
+    to verify that a restored service reproduced the original bit for bit.
+    """
+    rows = sorted(
+        (e.start, e.machine, e.job.org, e.job.index, e.job.size, e.job.id)
+        for e in entries
+    )
+    text = json.dumps(rows, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def build_snapshot(
+    *,
+    policy: dict,
+    genesis_machines: tuple[int, ...],
+    horizon: "int | None",
+    clock: int,
+    journal: "list[ServiceOp]",
+    digest: str,
+    n_events: int,
+) -> dict:
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "policy": policy,
+        "genesis_machines": list(genesis_machines),
+        "horizon": horizon,
+        "clock": clock,
+        "journal": [op.to_json() for op in journal],
+        "schedule_digest": digest,
+        "n_events": n_events,
+    }
+    payload["content_hash"] = content_hash(payload)
+    return payload
+
+
+def check_snapshot(payload: dict) -> list[ServiceOp]:
+    """Validate format / version / hash; return the decoded journal."""
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not a service snapshot (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {payload.get('version')!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    expected = payload.get("content_hash")
+    actual = content_hash(payload)
+    if expected != actual:
+        raise ValueError(
+            f"snapshot content hash mismatch (recorded {expected}, "
+            f"recomputed {actual}): refusing to restore corrupted state"
+        )
+    return [ServiceOp.from_json(d) for d in payload["journal"]]
+
+
+def save_snapshot(payload: dict, path: "str | Path") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_snapshot(path: "str | Path") -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -35,6 +35,7 @@ __all__ = [
     "unfairness",
     "avg_delay",
     "utilization_ratio",
+    "makespan",
 ]
 
 
@@ -70,6 +71,25 @@ def avg_delay(
     if ptot == 0:
         return 0.0
     return unfairness(result, reference, t) / ptot
+
+
+def makespan(
+    result: SchedulerResult, reference: SchedulerResult, t: int
+) -> float:
+    """Completion time of the last job the algorithm started before ``t``.
+
+    A pure efficiency score (the reference plays no role); with the
+    greedy invariant every algorithm is near-optimal on makespan, so this
+    mostly reads as a sanity check next to the fairness metrics -- a
+    large gap against the portfolio signals a degenerate schedule, not an
+    unfair one.
+    """
+    return float(
+        max(
+            (e.end for e in result.schedule if e.start < t),
+            default=0,
+        )
+    )
 
 
 def utilization_ratio(

@@ -13,7 +13,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..algorithms.base import Scheduler, SchedulerResult
 from ..core.workload import Workload
-from .metrics import avg_delay, unfairness, utilization_ratio
+from .metrics import avg_delay, makespan, unfairness, utilization_ratio
 
 __all__ = [
     "run_schedule",
@@ -31,6 +31,7 @@ METRICS: dict[str, Callable[[SchedulerResult, SchedulerResult, int], float]] = {
     "avg_delay": avg_delay,
     "unfairness": unfairness,
     "utilization_ratio": utilization_ratio,
+    "makespan": makespan,
 }
 
 

@@ -337,9 +337,10 @@ class TestRefactoredConsumersUseFleet:
     def test_ref_run_exposes_fleet(self):
         wl = make_workload([1, 1], [(0, 0, 1), (0, 1, 2)])
         from repro.algorithms.base import members_mask
-        from repro.algorithms.ref import _RefRun
+        from repro.algorithms.ref import RefRun
 
         members, grand = members_mask(wl, None)
-        run = _RefRun(wl, members, grand, horizon=None)
+        run = RefRun(wl, members, grand, horizon=None)
+        run.drive()
         assert isinstance(run.fleet, CoalitionFleet)
         assert set(run.fleet.masks) == {1, 2, 3}

@@ -16,7 +16,7 @@ from repro.algorithms import (
     UtFairShareScheduler,
 )
 from repro.algorithms.base import members_mask
-from repro.algorithms.ref import _RefRun
+from repro.algorithms.ref import RefRun
 from repro.core.engine import ClusterEngine
 from repro.sim.metrics import avg_delay, unfairness
 
@@ -48,7 +48,8 @@ class TestRefSelfConsistency:
         rng = np.random.default_rng(seed)
         wl = random_workload(rng, n_orgs=3, n_jobs=12, max_release=10)
         members, grand = members_mask(wl, None)
-        run = _RefRun(wl, members, grand, horizon=None)
+        run = RefRun(wl, members, grand, horizon=None)
+        run.drive()
         for mask in run.fleet.masks:
             if mask == grand:
                 continue

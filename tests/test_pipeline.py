@@ -183,6 +183,57 @@ class TestPipelineExecution:
         assert [r.metrics["avg_delay"] for r in result.instances] == expected
 
 
+class TestMakespanMetric:
+    """The spec-nameable ``makespan`` scoring function (METRICS registry)."""
+
+    def test_registered_and_spec_nameable(self):
+        from repro.sim.runner import METRICS
+
+        assert "makespan" in METRICS
+        spec = tiny_spec(metrics=("avg_delay", "makespan"), n_repeats=1)
+        result = run_pipeline(spec, keep_instances=True)
+        (inst,) = result.instances
+        assert set(inst.metrics) == {"avg_delay", "makespan"}
+        group = result.aggregates[("LPC-EGEE", ())]
+        assert set(group) == {"avg_delay", "makespan"}
+
+    def test_value_matches_schedule_makespan(self):
+        from repro.algorithms.greedy import GreedyFifoScheduler
+        from repro.algorithms.ref import RefScheduler
+        from repro.experiments.registry import get_family
+        from repro.sim.runner import METRICS
+
+        spec = tiny_spec(metrics=("makespan",), n_repeats=1, duration=1_200,
+                         scale=0.15)
+        inst = spec.instances()[0]
+        workload, _ = get_family(spec.family)(spec, inst)
+        assert workload.jobs, "window must contain jobs for this check"
+        result = GreedyFifoScheduler(horizon=spec.duration).run(workload)
+        reference = RefScheduler(horizon=spec.duration).run(workload)
+        got = METRICS["makespan"](result, reference, spec.duration)
+        want = float(
+            max(
+                e.end
+                for e in result.schedule
+                if e.start < spec.duration
+            )
+        )
+        assert got == want
+        # reference-independence: any reference gives the same score
+        assert got == METRICS["makespan"](result, result, spec.duration)
+
+    def test_empty_schedule_scores_zero(self):
+        from repro.algorithms.base import SchedulerResult
+        from repro.core.schedule import Schedule
+        from repro.core.workload import Workload
+        from repro.core.organization import Organization
+        from repro.sim.metrics import makespan
+
+        wl = Workload((Organization(0, 1),), ())
+        empty = SchedulerResult("x", wl, (0,), Schedule(()))
+        assert makespan(empty, empty, 100) == 0.0
+
+
 class TestCacheResume:
     def test_full_resume_recomputes_zero(self, tmp_path):
         spec = tiny_spec()
