@@ -8,20 +8,29 @@ scheduler (REF), the randomized FPRAS (RAND), the practical heuristic
 (DIRECTCONTR), distributive-fairness baselines, the workload substrate and
 the full experimental harness.
 
-Quickstart::
+Quickstart (the stable surface lives in :mod:`repro.api`; policies are
+named through the :data:`~repro.policies.POLICY_REGISTRY`)::
 
-    import repro
+    from repro import api
 
-    wl = repro.Workload(
-        [repro.Organization(0, 2), repro.Organization(1, 1)],
-        [repro.Job(release=0, org=0, index=0, size=4),
-         repro.Job(release=0, org=1, index=0, size=4)],
+    wl = api.Workload(
+        [api.Organization(0, 2), api.Organization(1, 1)],
+        [api.Job(release=0, org=0, index=0, size=4),
+         api.Job(release=0, org=1, index=0, size=4)],
     )
-    result = repro.RefScheduler().run(wl)
+    result = api.build_scheduler("ref").run(wl)
     print(result.utilities(t=8))
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+    # the whole mechanism family, by name, against the exact reference
+    comparison = api.compare_algorithms(
+        [e.name for e in api.list_policies() if e.capabilities.batch],
+        "ref", wl, t_end=8,
+    )
+
+Direct constructor imports (``repro.RefScheduler()`` etc.) keep working
+bit-identically.  See README.md for the architecture overview and the
+deprecation table, and EXPERIMENTS.md for the paper-versus-measured
+record of every table and figure.
 """
 
 from .algorithms import (
@@ -59,6 +68,15 @@ from .experiments import (
     run_pipeline,
     scenario_spec,
 )
+from . import api
+from .policies import (
+    POLICY_REGISTRY,
+    CapabilityError,
+    PolicySpec,
+    build_scheduler,
+    list_policies,
+    register_policy,
+)
 from .sim import avg_delay, compare_algorithms, run_schedule, unfairness
 from .utility import (
     FlowTimeUtility,
@@ -72,6 +90,7 @@ from .workloads import load_swf, make_trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "CapabilityError",
     "ClusterEngine",
     "Coalition",
     "CoalitionFleet",
@@ -84,6 +103,8 @@ __all__ = [
     "GreedyFifoScheduler",
     "Job",
     "Organization",
+    "POLICY_REGISTRY",
+    "PolicySpec",
     "RandScheduler",
     "RefScheduler",
     "RoundRobinScheduler",
@@ -98,13 +119,17 @@ __all__ = [
     "UtilityFunction",
     "Workload",
     "__version__",
+    "api",
     "avg_delay",
+    "build_scheduler",
     "compare_algorithms",
     "hoeffding_samples",
+    "list_policies",
     "list_scenarios",
     "load_swf",
     "make_trace",
     "psi_sp",
+    "register_policy",
     "run_pipeline",
     "run_schedule",
     "scenario_spec",

@@ -1,0 +1,152 @@
+"""The stable public API facade: the blessed surface to build on.
+
+Everything the repository's three consumer layers expose is re-exported
+here under one import::
+
+    from repro import api
+
+    spec = api.PolicySpec.parse("rand:n_orderings=30")
+    scheduler = api.build_scheduler(spec, seed=7, horizon=5_000)
+    comparison = api.compare_algorithms(
+        ["roundrobin", spec, "directcontr"], "ref", workload, t_end=5_000
+    )
+
+The surface is **versioned by snapshot**: ``API_SURFACE.txt`` at the
+repository root records every exported name and callable signature, and
+CI fails on unreviewed changes (``python tools/api_surface.py --check``).
+Deprecated aliases (``repro.service.service.POLICIES``,
+``batch_counterpart``) are *not* part of this surface — they emit
+``DeprecationWarning`` and forward here.
+
+Layers (see DESIGN.md §7 for the policy registry / capability model):
+
+* **policy registry** — :class:`PolicySpec`, :class:`PolicyEntry`,
+  :class:`PolicyCapabilities`, :data:`POLICY_REGISTRY`,
+  :func:`register_policy`, :func:`build_scheduler`,
+  :func:`build_online_policy`, entry-point discovery
+  (:func:`discover_policies`), typed errors;
+* **model** — :class:`Workload`, :class:`Job`, :class:`Organization`,
+  :class:`Schedule`, :class:`ScheduledJob`, :class:`ClusterEngine`,
+  :class:`CoalitionFleet`;
+* **batch running** — :class:`Scheduler`, :class:`SchedulerResult`,
+  :func:`compare_algorithms`, :func:`evaluate_portfolio`,
+  :func:`run_schedule`, :data:`METRICS`;
+* **experiments** — :class:`ScenarioSpec`, :func:`run_pipeline`, the
+  scenario/portfolio/family registries;
+* **online serving** — :class:`ClusterService`, :class:`OnlinePolicy`,
+  :class:`ReplayDriver`, :func:`replay_scenario`, snapshot I/O.
+"""
+
+from __future__ import annotations
+
+from .algorithms.base import PolicyScheduler, Scheduler, SchedulerResult
+from .core import (
+    ClusterEngine,
+    CoalitionFleet,
+    Job,
+    Organization,
+    Schedule,
+    ScheduledJob,
+    Workload,
+)
+from .experiments.pipeline import PipelineResult, run_pipeline
+from .experiments.registry import (
+    PORTFOLIO_SPECS,
+    Scenario,
+    list_scenarios,
+    register_family,
+    register_portfolio,
+    register_portfolio_specs,
+    register_scenario,
+    scenario_spec,
+)
+from .experiments.spec import InstanceSpec, ScenarioSpec
+from .policies import (
+    ENTRY_POINT_GROUP,
+    POLICY_REGISTRY,
+    CapabilityError,
+    ParamSpec,
+    PolicyCapabilities,
+    PolicyEntry,
+    PolicyParamError,
+    PolicySpec,
+    UnknownPolicyError,
+    build_online_policy,
+    build_scheduler,
+    discover_policies,
+    get_policy,
+    list_policies,
+    policy_names,
+    register_policy,
+    resolve_policy,
+)
+from .service import (
+    ClusterService,
+    OnlinePolicy,
+    ReplayDriver,
+    ReplayReport,
+    load_snapshot,
+    replay_scenario,
+    save_snapshot,
+)
+from .sim.runner import (
+    METRICS,
+    as_scheduler,
+    compare_algorithms,
+    evaluate_portfolio,
+    run_schedule,
+)
+
+__all__ = [
+    "CapabilityError",
+    "ClusterEngine",
+    "ClusterService",
+    "CoalitionFleet",
+    "ENTRY_POINT_GROUP",
+    "InstanceSpec",
+    "Job",
+    "METRICS",
+    "OnlinePolicy",
+    "Organization",
+    "POLICY_REGISTRY",
+    "PORTFOLIO_SPECS",
+    "ParamSpec",
+    "PipelineResult",
+    "PolicyCapabilities",
+    "PolicyEntry",
+    "PolicyParamError",
+    "PolicyScheduler",
+    "PolicySpec",
+    "ReplayDriver",
+    "ReplayReport",
+    "Scenario",
+    "ScenarioSpec",
+    "Schedule",
+    "ScheduledJob",
+    "Scheduler",
+    "SchedulerResult",
+    "UnknownPolicyError",
+    "Workload",
+    "as_scheduler",
+    "build_online_policy",
+    "build_scheduler",
+    "compare_algorithms",
+    "discover_policies",
+    "evaluate_portfolio",
+    "get_policy",
+    "list_policies",
+    "list_scenarios",
+    "load_snapshot",
+    "policy_names",
+    "register_family",
+    "register_policy",
+    "register_portfolio",
+    "register_portfolio_specs",
+    "register_scenario",
+    "replay_scenario",
+    "resolve_policy",
+    "run_pipeline",
+    "run_schedule",
+    "save_snapshot",
+    "scenario_spec",
+]

@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro table2 [...]
     repro figure10 [--orgs 2,3,4,5]
     repro scenarios         # list the scenario registry
+    repro policies          # list the policy registry (capability table)
     repro run NAME [--workers N --cache-dir DIR ...]   # any scenario
     repro replay NAME [--policy P --snapshot-every N]  # online service proof
     repro serve --orgs 2,1 [--policy P]                # JSONL scheduler daemon
@@ -24,6 +25,12 @@ kill/restoring from snapshots along the way, and verifies the result is
 bit-identical to the batch scheduler (exit code 1 if not).  ``serve``
 runs the service as a line-oriented JSONL daemon on stdin/stdout.  Every
 command prints the paper-layout output used in EXPERIMENTS.md.
+
+Every ``--policy`` flag accepts a registered policy name or a
+parameterized ``name:key=value[,key=value...]`` string (e.g.
+``rand:n_orderings=30``); names, help text and the ``policies`` table
+all derive from :data:`repro.policies.POLICY_REGISTRY`, so the CLI can
+never drift from the registry.
 """
 
 from __future__ import annotations
@@ -48,6 +55,16 @@ def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--no-resume", action="store_true",
         help="recompute even when the checkpoint already has instances",
+    )
+
+
+def _policy_flag_help(intro: str) -> str:
+    """Registry-derived ``--policy`` help (cannot drift from the table)."""
+    from .policies import policy_names
+
+    return (
+        f"{intro}: {', '.join(policy_names('step'))}; parameters via "
+        f"NAME:key=value,... (see `repro policies`)"
     )
 
 
@@ -89,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list the scenario registry")
 
+    pol = sub.add_parser(
+        "policies",
+        help="list the policy registry (name, params, capabilities, paper §)",
+    )
+    pol.add_argument(
+        "--capability", default=None,
+        help="only policies with this truthy capability (e.g. step, batch)",
+    )
+
     run = sub.add_parser(
         "run", help="run any registered scenario through the pipeline"
     )
@@ -123,8 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rp.add_argument("scenario", help="a name from `repro scenarios`")
     rp.add_argument("--policy", default="directcontr",
-                    help="service policy (ref, rand, directcontr, fifo, "
-                         "roundrobin, fairshare, utfairshare, currfairshare)")
+                    help=_policy_flag_help("service policy"))
     rp.add_argument("--instance", type=int, default=0,
                     help="which enumerated instance of the scenario to replay")
     rp.add_argument("--snapshot-every", type=int, default=None,
@@ -149,7 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument("--orgs", default="2,1",
                      help="genesis machine counts per organization, e.g. 3,2,2")
-    srv.add_argument("--policy", default="directcontr")
+    srv.add_argument("--policy", default="directcontr",
+                     help=_policy_flag_help("service policy"))
     srv.add_argument("--seed", type=int, default=0)
     srv.add_argument("--horizon", type=int, default=None)
     srv.add_argument("--restore", default=None, metavar="SNAPSHOT",
@@ -224,12 +250,8 @@ def _cmd_gadget(values_csv: str, x: int) -> None:
 
 
 def _cmd_demo(trace: str, duration: int, orgs: int, seed: int) -> None:
-    from .algorithms import RefScheduler
-    from .experiments.harness import (
-        ExperimentConfig,
-        default_algorithms,
-        sample_instance,
-    )
+    from .experiments.harness import ExperimentConfig, sample_instance
+    from .experiments.registry import PORTFOLIO_SPECS
     from .sim.runner import compare_algorithms
     from .viz import fairness_report
 
@@ -240,10 +262,7 @@ def _cmd_demo(trace: str, duration: int, orgs: int, seed: int) -> None:
     workload = sample_instance(trace, config, rng)
     print(f"{trace} window: {workload.stats()}")
     comparison = compare_algorithms(
-        default_algorithms(duration, seed),
-        RefScheduler(horizon=duration),
-        workload,
-        duration,
+        PORTFOLIO_SPECS["paper"], "ref", workload, duration, seed=seed
     )
     print(fairness_report(comparison))
 
@@ -296,6 +315,43 @@ def _cmd_scenarios() -> None:
             f" duration={spec.duration} repeats={spec.n_repeats}"
             f" portfolio={spec.portfolio}"
         )
+
+
+def _cmd_policies(capability: "str | None") -> None:
+    from .policies import ENTRY_POINT_GROUP, PolicyCapabilities, list_policies
+
+    if capability is not None and capability not in vars(
+        PolicyCapabilities()
+    ):
+        fields = ", ".join(vars(PolicyCapabilities()))
+        raise SystemExit(
+            f"unknown capability {capability!r}; one of: {fields}"
+        )
+    entries = [
+        e
+        for e in list_policies()
+        if capability is None or getattr(e.capabilities, capability)
+    ]
+    print("registered policies (--policy NAME[:param=value,...]):")
+    header = f"  {'name':<14} {'capabilities':<42} {'paper':<14} params"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for e in entries:
+        params = (
+            "; ".join(
+                f"{p.name}:{p.type.__name__}={p.default}" for p in e.params
+            )
+            or "-"
+        )
+        print(
+            f"  {e.name:<14} {e.capabilities.summary():<42} "
+            f"{e.paper_section:<14} {params}"
+        )
+        print(f"  {'':<14} {e.summary}")
+    print(
+        f"\nthird-party policies register through the "
+        f"{ENTRY_POINT_GROUP!r} entry-point group (see DESIGN.md §7)"
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
@@ -412,6 +468,8 @@ def main(argv: "list[str] | None" = None) -> int:
         _cmd_figure10(args)
     elif args.command == "scenarios":
         _cmd_scenarios()
+    elif args.command == "policies":
+        _cmd_policies(args.capability)
     elif args.command == "run":
         _cmd_run(args)
     elif args.command == "replay":

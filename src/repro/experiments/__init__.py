@@ -41,6 +41,7 @@ from .pipeline import (
 )
 from .registry import (
     FAMILIES,
+    PORTFOLIO_SPECS,
     PORTFOLIOS,
     SCENARIOS,
     Scenario,
@@ -48,6 +49,7 @@ from .registry import (
     list_scenarios,
     register_family,
     register_portfolio,
+    register_portfolio_specs,
     register_scenario,
     scenario_spec,
 )
@@ -65,6 +67,7 @@ __all__ = [
     "InstanceResult",
     "InstanceSpec",
     "PORTFOLIOS",
+    "PORTFOLIO_SPECS",
     "PipelineInstanceResult",
     "PipelineResult",
     "SCENARIOS",
@@ -83,6 +86,7 @@ __all__ = [
     "list_scenarios",
     "register_family",
     "register_portfolio",
+    "register_portfolio_specs",
     "register_scenario",
     "render_pipeline",
     "render_series",

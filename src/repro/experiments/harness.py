@@ -27,8 +27,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..algorithms import RefScheduler, Scheduler
+from ..algorithms import Scheduler
 from ..core.workload import Workload
+from ..policies import build_scheduler
 from ..sim.runner import evaluate_portfolio
 from ..workloads.traces import make_trace
 from ..workloads.transforms import (
@@ -180,7 +181,7 @@ def run_instance(
     reference: Scheduler | None = None,
 ) -> dict[str, float]:
     """Steps 5-6: every algorithm's Delta-psi / p_tot against REF."""
-    ref = reference or RefScheduler(horizon=duration)
+    ref = reference or build_scheduler("ref", horizon=duration)
     return evaluate_portfolio(workload, duration, algorithms, ref)["avg_delay"]
 
 

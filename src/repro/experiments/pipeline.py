@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
-from ..algorithms.ref import RefScheduler
+from ..policies import build_scheduler
 from ..sim.runner import evaluate_portfolio
 from .registry import get_family, get_portfolio
 from .spec import InstanceSpec, ScenarioSpec
@@ -181,16 +181,30 @@ def run_instance_spec(
     inst: InstanceSpec,
     algorithms: "AlgorithmFactory | None" = None,
 ) -> PipelineInstanceResult:
-    """Compute one instance end-to-end (the worker-process entry point)."""
+    """Compute one instance end-to-end (the worker-process entry point).
+
+    Row resolution order: an explicit ``algorithms`` callable wins, then
+    the spec's embedded ``policies`` (each built through the policy
+    registry with the instance's derived seed), then the named
+    portfolio.  The exact REF reference also resolves through the
+    registry.
+    """
     build = get_family(spec.family)
     workload, alg_seed = build(spec, inst)
-    factory = algorithms if algorithms is not None else get_portfolio(spec.portfolio)
-    portfolio = factory(spec.duration, alg_seed)
+    if algorithms is not None:
+        portfolio = algorithms(spec.duration, alg_seed)
+    elif spec.policies:
+        portfolio = [
+            build_scheduler(p, seed=alg_seed, horizon=spec.duration)
+            for p in spec.policies
+        ]
+    else:
+        portfolio = get_portfolio(spec.portfolio)(spec.duration, alg_seed)
     metrics = evaluate_portfolio(
         workload,
         spec.duration,
         portfolio,
-        RefScheduler(horizon=spec.duration),
+        build_scheduler("ref", horizon=spec.duration),
         spec.metrics,
     )
     return PipelineInstanceResult(

@@ -9,7 +9,11 @@ Three small name->object maps decouple *what* an experiment is (a frozen
   independently computable on any worker process;
 * **portfolios** — named algorithm row sets ``(horizon, seed) ->
   [Scheduler]``.  Specs reference portfolios by name so they stay
-  hashable/picklable;
+  hashable/picklable.  Built-ins are declared as
+  :class:`~repro.policies.PolicySpec` rows
+  (:func:`register_portfolio_specs`, inspectable via
+  :data:`PORTFOLIO_SPECS`) and constructed through the global policy
+  registry — no algorithm constructors are named here;
 * **scenarios** — named, ready-to-run specs with a one-line description
   (what ``repro scenarios`` lists and ``repro run NAME`` executes).
 
@@ -40,16 +44,9 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Callable
 
-from ..algorithms import (
-    CurrFairShareScheduler,
-    DirectContributionScheduler,
-    FairShareScheduler,
-    RandScheduler,
-    RoundRobinScheduler,
-    Scheduler,
-    UtFairShareScheduler,
-)
+from ..algorithms import Scheduler
 from ..core.workload import Workload
+from ..policies import PolicySpec, build_scheduler
 from ..workloads.federated import FederatedSpec, federated_records
 from ..workloads.swf import load_swf
 from ..workloads.traces import PAPER_TRACES
@@ -65,9 +62,11 @@ __all__ = [
     "Scenario",
     "FAMILIES",
     "PORTFOLIOS",
+    "PORTFOLIO_SPECS",
     "SCENARIOS",
     "register_family",
     "register_portfolio",
+    "register_portfolio_specs",
     "register_scenario",
     "get_family",
     "get_portfolio",
@@ -84,6 +83,13 @@ PortfolioFactory = Callable[[int, int], "list[Scheduler]"]
 
 FAMILIES: dict[str, InstanceBuilder] = {}
 PORTFOLIOS: dict[str, PortfolioFactory] = {}
+
+#: Declarative row sets: portfolio name -> :class:`PolicySpec` rows.
+#: Populated by :func:`register_portfolio_specs`; a portfolio registered
+#: through a bare callable (:func:`register_portfolio`) has no entry
+#: here.  Policy *construction* always happens in
+#: :data:`repro.policies.POLICY_REGISTRY`.
+PORTFOLIO_SPECS: dict[str, tuple[PolicySpec, ...]] = {}
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,36 @@ def register_portfolio(
         raise ValueError(f"portfolio {name!r} already registered")
     PORTFOLIOS[name] = factory
     return factory
+
+
+def register_portfolio_specs(
+    name: str,
+    specs: "tuple[PolicySpec | str, ...]",
+    *,
+    overwrite: bool = False,
+) -> PortfolioFactory:
+    """Register a portfolio declaratively: :class:`PolicySpec` rows (or
+    names / ``name:k=v`` strings) built through the policy registry.
+
+    The resulting factory constructs each row with the run's
+    ``(horizon, seed)``; the normalized specs are kept in
+    :data:`PORTFOLIO_SPECS` so tooling (and tests) can inspect a
+    portfolio without constructing it.
+    """
+    rows = tuple(
+        s if isinstance(s, PolicySpec) else PolicySpec.parse(s) for s in specs
+    )
+
+    def factory(horizon: int, seed: int) -> list[Scheduler]:
+        return [build_scheduler(s, seed=seed, horizon=horizon) for s in rows]
+
+    factory.__name__ = f"{name}_portfolio"
+    factory.__doc__ = f"Rows: {', '.join(str(s) for s in rows)}."
+    # register the factory first: on a name collision it raises before
+    # PORTFOLIO_SPECS is touched, keeping the two maps consistent
+    result = register_portfolio(name, factory, overwrite=overwrite)
+    PORTFOLIO_SPECS[name] = rows
+    return result
 
 
 def register_scenario(scenario: Scenario, *, overwrite: bool = False) -> Scenario:
@@ -169,35 +205,22 @@ def scenario_spec(name: str, **overrides) -> ScenarioSpec:
 
 
 # ----------------------------------------------------------------------
-# built-in portfolios
+# built-in portfolios (rows are PolicySpecs; construction lives in the
+# policy registry)
 # ----------------------------------------------------------------------
 def paper_portfolio(horizon: int, seed: int) -> list[Scheduler]:
     """The paper's Table 1/2 row set (Section 7.1)."""
-    return [
-        RoundRobinScheduler(horizon=horizon),
-        RandScheduler(n_orderings=15, seed=seed, horizon=horizon),
-        DirectContributionScheduler(seed=seed, horizon=horizon),
-        FairShareScheduler(horizon=horizon),
-        UtFairShareScheduler(horizon=horizon),
-        CurrFairShareScheduler(horizon=horizon),
-    ]
+    return get_portfolio("paper")(horizon, seed)
 
 
 def fast_portfolio(horizon: int, seed: int) -> list[Scheduler]:
     """Cheap subset for smoke runs: no sampled-Shapley algorithms."""
-    return [
-        RoundRobinScheduler(horizon=horizon),
-        FairShareScheduler(horizon=horizon),
-        CurrFairShareScheduler(horizon=horizon),
-    ]
+    return get_portfolio("fast")(horizon, seed)
 
 
 def contribution_portfolio(horizon: int, seed: int) -> list[Scheduler]:
     """Only the contribution-tracking algorithms (RAND, DIRECTCONTR)."""
-    return [
-        RandScheduler(n_orderings=15, seed=seed, horizon=horizon),
-        DirectContributionScheduler(seed=seed, horizon=horizon),
-    ]
+    return get_portfolio("contribution")(horizon, seed)
 
 
 # ----------------------------------------------------------------------
@@ -342,9 +365,29 @@ def federated_instance(
 # ----------------------------------------------------------------------
 # built-in registrations
 # ----------------------------------------------------------------------
-register_portfolio("paper", paper_portfolio)
-register_portfolio("fast", fast_portfolio)
-register_portfolio("contribution", contribution_portfolio)
+register_portfolio_specs(
+    "paper",
+    (
+        PolicySpec("roundrobin"),
+        PolicySpec.make("rand", n_orderings=15),
+        PolicySpec("directcontr"),
+        PolicySpec("fairshare"),
+        PolicySpec("utfairshare"),
+        PolicySpec("currfairshare"),
+    ),
+)
+register_portfolio_specs(
+    "fast",
+    (
+        PolicySpec("roundrobin"),
+        PolicySpec("fairshare"),
+        PolicySpec("currfairshare"),
+    ),
+)
+register_portfolio_specs(
+    "contribution",
+    (PolicySpec.make("rand", n_orderings=15), PolicySpec("directcontr")),
+)
 
 register_family("synthetic", synthetic_instance)
 register_family("churn", churn_instance)

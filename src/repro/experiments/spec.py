@@ -37,6 +37,8 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..policies import PolicySpec
+
 __all__ = ["ScenarioSpec", "InstanceSpec", "derive_rng", "seed_from_key"]
 
 
@@ -112,6 +114,14 @@ class ScenarioSpec:
         (:data:`repro.experiments.harness.DEFAULT_SCALES`).
     portfolio:
         Named algorithm row set (see ``registry.PORTFOLIOS``).
+    policies:
+        Explicit algorithm rows as :class:`~repro.policies.PolicySpec`
+        values (or names / ``name:k=v`` strings, normalized at
+        construction).  When non-empty this *overrides* ``portfolio``:
+        each spec is built through the policy registry with the
+        instance's derived seed.  Empty (the default) keeps the named
+        portfolio and the spec's pre-registry content hash, so existing
+        caches stay valid.
     metrics:
         Named scoring functions (see ``repro.sim.runner.METRICS``); every
         algorithm is scored against the exact REF reference.
@@ -139,6 +149,7 @@ class ScenarioSpec:
     seed: int = 0
     pool_factor: int = 4
     portfolio: str = "paper"
+    policies: "tuple[PolicySpec, ...]" = ()
     metrics: tuple[str, ...] = ("avg_delay",)
     org_counts: tuple[int, ...] = ()
     zipf_exponents: tuple[float, ...] = ()
@@ -161,6 +172,14 @@ class ScenarioSpec:
         if any(k < 1 for k in self.org_counts):
             raise ValueError("org_counts entries must be >= 1")
         # normalize for stable hashing regardless of caller container types
+        object.__setattr__(
+            self,
+            "policies",
+            tuple(
+                p if isinstance(p, PolicySpec) else PolicySpec.from_json(p)
+                for p in self.policies
+            ),
+        )
         object.__setattr__(self, "traces", tuple(self.traces))
         object.__setattr__(self, "metrics", tuple(self.metrics))
         object.__setattr__(self, "org_counts", tuple(self.org_counts))
@@ -181,9 +200,18 @@ class ScenarioSpec:
         chars.  Any change to any field — including the portfolio or
         metric *names* — yields a different hash and therefore a fresh
         cache file.
+
+        Migration note: fields added after PR 2 (currently ``policies``)
+        are dropped from the payload while at their "absent" default, so
+        every pre-registry spec keeps its original hash and on-disk
+        caches survive the API redesign; a spec that *uses* the new
+        field hashes fresh.
         """
+        fields = asdict(self)
+        if not self.policies:
+            fields.pop("policies")
         payload = json.dumps(
-            asdict(self), sort_keys=True, separators=(",", ":"), default=str
+            fields, sort_keys=True, separators=(",", ":"), default=str
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 

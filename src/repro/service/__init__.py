@@ -18,7 +18,7 @@ and providers join, leave and resize.
 """
 
 from .replay import ReplayDriver, ReplayReport, replay_scenario
-from .service import POLICIES, ClusterService, OnlinePolicy
+from .service import ClusterService, OnlinePolicy
 from .snapshot import load_snapshot, save_snapshot
 
 __all__ = [
@@ -31,3 +31,11 @@ __all__ = [
     "load_snapshot",
     "save_snapshot",
 ]
+
+
+def __getattr__(name: str):
+    if name == "POLICIES":  # deprecated: forwards to the registry shim
+        from . import service as _service
+
+        return _service.POLICIES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

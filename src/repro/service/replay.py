@@ -27,7 +27,8 @@ from typing import Sequence
 
 from ..core.schedule import Schedule
 from ..core.workload import Workload
-from .service import ClusterService, batch_counterpart
+from ..policies import PolicySpec, build_scheduler
+from .service import ClusterService
 
 __all__ = ["ReplayDriver", "ReplayReport", "replay_scenario"]
 
@@ -81,7 +82,10 @@ class ReplayDriver:
         The frozen instance to stream (its machine endowments become the
         service genesis; its jobs are submitted at their release times).
     policy:
-        Service policy name (see ``repro.service.service.POLICIES``).
+        Service policy: a :class:`~repro.policies.PolicySpec`, a
+        registered name, or a CLI string like ``"rand:n_orderings=30"``
+        (resolved through :data:`repro.policies.POLICY_REGISTRY`; must
+        declare the ``step`` capability).
     seed:
         Policy seed; must match the batch counterpart's for equivalence.
     horizon:
@@ -98,7 +102,7 @@ class ReplayDriver:
     def __init__(
         self,
         workload: Workload,
-        policy: str = "directcontr",
+        policy: "str | PolicySpec" = "directcontr",
         *,
         seed: int = 0,
         horizon: "int | None" = None,
@@ -152,9 +156,10 @@ class ReplayDriver:
             schedule=service.schedule(),
         )
         if self.check_batch:
-            batch = batch_counterpart(
-                self.policy, self.seed, self.horizon, self.policy_params
-            )
+            spec = PolicySpec.parse(self.policy)
+            if self.policy_params:
+                spec = spec.with_params(**self.policy_params)
+            batch = build_scheduler(spec, seed=self.seed, horizon=self.horizon)
             batch_result = batch.run(self.workload)
             report.batch_schedule = batch_result.schedule
             report.equivalent = report.schedule == batch_result.schedule
@@ -165,7 +170,7 @@ def replay_scenario(
     name: str,
     *,
     instance_index: int = 0,
-    policy: str = "directcontr",
+    policy: "str | PolicySpec" = "directcontr",
     snapshot_every: "int | None" = None,
     check_batch: bool = True,
     metrics: "Sequence[str] | None" = None,
@@ -179,7 +184,6 @@ def replay_scenario(
     every named metric is scored for the replayed schedule against the
     exact REF reference, mirroring ``evaluate_portfolio``.
     """
-    from ..algorithms.ref import RefScheduler
     from ..experiments.registry import get_family, scenario_spec
     from ..sim.runner import METRICS
 
@@ -209,7 +213,7 @@ def replay_scenario(
             )
         from ..algorithms.base import SchedulerResult
 
-        ref_result = RefScheduler(horizon=spec.duration).run(workload)
+        ref_result = build_scheduler("ref", horizon=spec.duration).run(workload)
         online_result = SchedulerResult(
             algorithm=report.policy,
             workload=workload,

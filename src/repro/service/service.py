@@ -38,22 +38,15 @@ at the change epoch when it does not.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..algorithms.base import PolicyScheduler, Scheduler, SchedulerResult
-from ..algorithms.direct import DirectContributionScheduler
-from ..algorithms.fairshare import (
-    CurrFairShareScheduler,
-    FairShareScheduler,
-    UtFairShareScheduler,
-)
-from ..algorithms.greedy import GreedyFifoScheduler
-from ..algorithms.rand import RandRun, RandScheduler
-from ..algorithms.ref import RefRun, RefScheduler
-from ..algorithms.round_robin import RoundRobinScheduler
+from ..algorithms.rand import RandRun
+from ..algorithms.ref import RefRun
 from ..core.coalition import iter_members, popcount, subsets_by_size
 from ..core.engine import ClusterEngine
 from ..core.fleet import CoalitionFleet
@@ -61,6 +54,15 @@ from ..core.job import Job
 from ..core.organization import Organization
 from ..core.schedule import Schedule
 from ..core.workload import Workload
+from ..policies import (
+    REF_MAX_ORGS,
+    CapabilityError,
+    PolicyEntry,
+    PolicySpec,
+    build_scheduler,
+    get_policy,
+    policy_names,
+)
 from .snapshot import (
     build_snapshot,
     check_snapshot,
@@ -75,11 +77,6 @@ __all__ = [
     "batch_counterpart",
     "REF_MAX_ORGS",
 ]
-
-#: REF keeps one engine per nonempty subcoalition (2^k - 1); past this
-#: many *active* members a join is refused rather than letting the
-#: recursion explode silently.
-REF_MAX_ORGS = 10
 
 
 # ----------------------------------------------------------------------
@@ -317,12 +314,12 @@ class _RefPolicy(_FleetPolicy):
         )
         self.fleet = self.run.fleet
 
-    @staticmethod
-    def _check_size(k: int) -> None:
-        if k > REF_MAX_ORGS:
-            raise ValueError(
+    def _check_size(self, k: int) -> None:
+        cap = self.service.max_orgs
+        if cap is not None and k > cap:
+            raise CapabilityError(
                 f"online REF keeps 2^k - 1 coalition engines; {k} active "
-                f"members exceeds the cap of {REF_MAX_ORGS} (use RAND or "
+                f"members exceeds the cap of {cap} (use RAND or "
                 f"DIRECTCONTR for larger federations)"
             )
 
@@ -446,81 +443,85 @@ class _RandPolicy(_FleetPolicy):
 
 
 # ----------------------------------------------------------------------
-# policy registry: online adapter + its batch counterpart
+# deprecated dispatch shims (canonical table: repro.policies)
 # ----------------------------------------------------------------------
-def _single(factory: "Callable[[int, int | None], PolicyScheduler]"):
-    def online(service: "ClusterService") -> OnlinePolicy:
-        return _SingleEnginePolicy(
-            service, factory(service.seed, service.horizon)
-        )
+def _declared_only(entry: PolicyEntry, params: "dict | None") -> dict:
+    """Filter a legacy params dict down to the entry's declared schema.
 
-    return online
+    The pre-registry batch factories silently ignored keys a policy did
+    not consume (callers passed one dict for any policy name); the
+    deprecated shims preserve that, where the blessed API raises
+    :class:`~repro.policies.PolicyParamError` instead.
+    """
+    declared = {p.name for p in entry.params}
+    return {k: v for k, v in (params or {}).items() if k in declared}
 
 
-#: name -> (online adapter factory,
-#:          batch scheduler factory(seed, horizon, params)).
-POLICIES: dict[
-    str,
-    "tuple[Callable[[ClusterService], OnlinePolicy], Callable[[int, int | None, dict], Scheduler]]",
-] = {
-    "ref": (
-        lambda svc: _RefPolicy(svc),
-        lambda seed, horizon, params: RefScheduler(horizon=horizon),
-    ),
-    "rand": (
-        lambda svc: _RandPolicy(
-            svc, int(svc.policy_params.get("n_orderings", 15))
-        ),
-        lambda seed, horizon, params: RandScheduler(
-            n_orderings=int(params.get("n_orderings", 15)),
-            seed=seed,
-            horizon=horizon,
-        ),
-    ),
-    "directcontr": (
-        _single(
-            lambda seed, horizon: DirectContributionScheduler(
-                seed=seed, horizon=horizon
+def _legacy_policies() -> dict:
+    """The pre-registry ``POLICIES`` mapping shape — ``name ->
+    (online_factory(service), batch_factory(seed, horizon, params))`` —
+    derived from :data:`repro.policies.POLICY_REGISTRY` (no second
+    dispatch table exists)."""
+
+    def batch(entry: PolicyEntry):
+        def make(seed: int, horizon: "int | None", params: "dict | None"):
+            spec = PolicySpec(
+                entry.name, tuple(_declared_only(entry, params).items())
             )
-        ),
-        lambda seed, horizon, params: DirectContributionScheduler(
-            seed=seed, horizon=horizon
-        ),
-    ),
-    "fifo": (
-        _single(lambda seed, horizon: GreedyFifoScheduler(horizon=horizon)),
-        lambda seed, horizon, params: GreedyFifoScheduler(horizon=horizon),
-    ),
-    "roundrobin": (
-        _single(lambda seed, horizon: RoundRobinScheduler(horizon=horizon)),
-        lambda seed, horizon, params: RoundRobinScheduler(horizon=horizon),
-    ),
-    "fairshare": (
-        _single(lambda seed, horizon: FairShareScheduler(horizon=horizon)),
-        lambda seed, horizon, params: FairShareScheduler(horizon=horizon),
-    ),
-    "utfairshare": (
-        _single(lambda seed, horizon: UtFairShareScheduler(horizon=horizon)),
-        lambda seed, horizon, params: UtFairShareScheduler(horizon=horizon),
-    ),
-    "currfairshare": (
-        _single(lambda seed, horizon: CurrFairShareScheduler(horizon=horizon)),
-        lambda seed, horizon, params: CurrFairShareScheduler(horizon=horizon),
-    ),
-}
+            return entry.build(spec, seed=seed, horizon=horizon)
+
+        return make
+
+    def online(entry: PolicyEntry):
+        def make(service: "ClusterService") -> OnlinePolicy:
+            return entry.build_online(
+                service,
+                PolicySpec(entry.name, tuple(service.policy_params.items())),
+            )
+
+        return make
+
+    return {
+        name: (online(entry), batch(entry))
+        for name in policy_names("step")
+        for entry in (get_policy(name),)
+    }
+
+
+def __getattr__(name: str):
+    if name == "POLICIES":
+        warnings.warn(
+            "repro.service.service.POLICIES is deprecated; use "
+            "repro.policies.POLICY_REGISTRY (see repro.api)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _legacy_policies()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def batch_counterpart(
     policy: str, seed: int, horizon: "int | None", params: "dict | None" = None
 ) -> Scheduler:
-    """The batch scheduler whose run the online policy must reproduce."""
-    try:
-        factory = POLICIES[policy][1]
-    except KeyError:
-        raise KeyError(
-            f"unknown policy {policy!r}; available: {sorted(POLICIES)}"
-        ) from None
-    return factory(seed, horizon, params or {})
+    """Deprecated: the batch scheduler the online policy must reproduce.
+
+    Use :func:`repro.policies.build_scheduler` — this shim resolves
+    through the same registry and stays bit-identical.
+    """
+    warnings.warn(
+        "batch_counterpart() is deprecated; use "
+        "repro.policies.build_scheduler(spec, seed=..., horizon=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    entry = get_policy(policy)
+    if not entry.capabilities.step:
+        raise CapabilityError(
+            f"policy {policy!r} has no step capability: no online run "
+            f"exists for a batch counterpart to mirror"
+        )
+    spec = PolicySpec(policy, tuple(_declared_only(entry, params).items()))
+    return build_scheduler(spec, seed=seed, horizon=horizon)
 
 
 # ----------------------------------------------------------------------
@@ -536,14 +537,20 @@ class ClusterService:
         ``0..len-1``, machine ids follow the canonical layout so the
         service agrees with batch engines).
     policy:
-        A name from :data:`POLICIES`.
+        A registered policy: a :class:`~repro.policies.PolicySpec`, a
+        name, or a CLI string such as ``"rand:n_orderings=30"``.  The
+        policy must declare the ``step`` capability
+        (:class:`~repro.policies.CapabilityError` otherwise), and its
+        ``max_orgs`` cap is enforced here at ingest — at genesis and on
+        every :meth:`join_org`.
     seed:
         Policy RNG seed (RAND's orderings, DIRECTCONTR's machine order).
     horizon:
         Optional stop time: decision events at/after it are ignored,
         exactly like the batch schedulers' ``horizon``.
     policy_params:
-        Extra policy knobs (currently: RAND's ``n_orderings``).
+        Extra policy knobs merged over the spec's params (kept for
+        backward compatibility; prefer params on the spec itself).
 
     Ingest API: :meth:`submit`, :meth:`join_org`, :meth:`leave_org`,
     :meth:`add_machines`, :meth:`remove_machines`; time advances through
@@ -555,7 +562,7 @@ class ClusterService:
     def __init__(
         self,
         machine_counts: Sequence[int],
-        policy: str = "directcontr",
+        policy: "str | PolicySpec" = "directcontr",
         *,
         seed: int = 0,
         horizon: "int | None" = None,
@@ -564,22 +571,49 @@ class ClusterService:
         counts = tuple(int(c) for c in machine_counts)
         if not counts:
             raise ValueError("need at least one genesis organization")
-        if policy not in POLICIES:
-            raise KeyError(
-                f"unknown policy {policy!r}; available: {sorted(POLICIES)}"
+        spec = PolicySpec.parse(policy)
+        if policy_params:
+            spec = spec.with_params(**policy_params)
+        entry = get_policy(spec.name)
+        if not entry.capabilities.step:
+            raise CapabilityError(
+                f"policy {spec.name!r} has no step capability: it cannot "
+                f"drive the online service (online policies: "
+                f"{policy_names('step')})"
+            )
+        resolved = entry.resolve_params(spec)  # typed error on bad params
+        cap = entry.capabilities.max_orgs
+        if cap is not None and len(counts) > cap:
+            raise CapabilityError(
+                f"policy {spec.name!r} has a max_orgs cap of {cap} active "
+                f"organizations; genesis has {len(counts)}"
             )
         self.genesis_machines = counts
-        self.policy_name = policy
+        self.policy_entry = entry
+        self.policy_spec = spec
+        self.policy_name = spec.name
         self.seed = int(seed)
         self.horizon = horizon
-        self.policy_params = dict(policy_params or {})
+        #: Explicit (non-default) params — what :meth:`snapshot` records,
+        #: keeping snapshot hashes identical to pre-registry ones.
+        self.policy_params = spec.as_dict()
         self.census = ClusterCensus.genesis(counts)
         self.clock = 0
         self.journal: "list[ServiceOp]" = []
         self.n_events = 0
         self.n_jobs = 0
         self._last_decision: "int | None" = None
-        self._policy: OnlinePolicy = POLICIES[policy][0](self)
+        self._policy: OnlinePolicy = entry.online_factory(self, resolved)
+
+    @property
+    def capabilities(self):
+        """The resolved policy's :class:`~repro.policies.PolicyCapabilities`."""
+        return self.policy_entry.capabilities
+
+    @property
+    def max_orgs(self) -> "int | None":
+        """The policy's active-organization cap (``None``: unbounded)."""
+        return self.policy_entry.capabilities.max_orgs
 
     # ------------------------------------------------------------------
     # engine construction helpers (used by the policy adapters)
@@ -650,6 +684,13 @@ class ClusterService:
         if self._last_decision is not None:
             self.clock = max(self.clock, self._last_decision)
         return self.clock
+
+    def _require_dynamic(self, action: str) -> None:
+        if not self.capabilities.dynamic_membership:
+            raise CapabilityError(
+                f"policy {self.policy_name!r} has no dynamic_membership "
+                f"capability: cannot {action} on a live service"
+            )
 
     def _step(self, t: int) -> None:
         self._policy.step(t)
@@ -737,9 +778,24 @@ class ClusterService:
 
     def join_org(self, machines: int = 0) -> int:
         """Admit a new organization with ``machines`` fresh processors;
-        returns its (never reused) id."""
+        returns its (never reused) id.
+
+        Capability-validated at ingest: a join beyond the policy's
+        ``max_orgs`` cap (or under a policy without
+        ``dynamic_membership``) fails with a typed
+        :class:`~repro.policies.CapabilityError` before any state
+        mutates.
+        """
         if machines < 0:
             raise ValueError("machines must be >= 0")
+        self._require_dynamic("admit an organization")
+        cap = self.max_orgs
+        if cap is not None and len(self.census.members) + 1 > cap:
+            raise CapabilityError(
+                f"policy {self.policy_name!r} has a max_orgs cap of {cap} "
+                f"active organizations; a join would make "
+                f"{len(self.census.members) + 1}"
+            )
         org, _ = self.census.admit(machines)
         self.journal.append(
             ServiceOp("join_org", self.clock, (("machines", machines),))
@@ -759,6 +815,7 @@ class ClusterService:
     def leave_org(self, org: int) -> None:
         """Expel an organization: its waiting jobs are withdrawn, its
         running jobs complete (non-preemption), its machines drain."""
+        self._require_dynamic("expel an organization")
         self.census.require_member(org)
         if len(self.census.members) == 1:
             raise ValueError("cannot remove the last member organization")

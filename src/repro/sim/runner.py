@@ -3,6 +3,13 @@
 These wrap the :class:`~repro.algorithms.base.Scheduler` API for the common
 experiment shapes: run an algorithm portfolio against the REF reference and
 compute the paper's fairness metric for each.
+
+Portfolios and references are *policy-like*: every entry may be a
+constructed :class:`~repro.algorithms.base.Scheduler`, a
+:class:`~repro.policies.PolicySpec`, or a registered policy name /
+CLI string (``"rand:n_orderings=30"``) — names resolve through
+:data:`repro.policies.POLICY_REGISTRY` with ``horizon=t_end`` and the
+``seed`` keyword.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..algorithms.base import Scheduler, SchedulerResult
 from ..core.workload import Workload
+from ..policies import PolicySpec, build_scheduler
 from .metrics import avg_delay, makespan, unfairness, utilization_ratio
 
 __all__ = [
@@ -21,8 +29,28 @@ __all__ = [
     "Comparison",
     "AlgorithmOutcome",
     "METRICS",
+    "PolicyLike",
+    "as_scheduler",
     "evaluate_portfolio",
 ]
+
+#: Anything the runners resolve to a scheduler: a built instance, a
+#: :class:`PolicySpec`, or a registered name / ``name:k=v`` string.
+PolicyLike = "Scheduler | PolicySpec | str"
+
+
+def as_scheduler(
+    policy: PolicyLike, *, seed: int = 0, horizon: "int | None" = None
+) -> Scheduler:
+    """Resolve a policy-like value to a constructed scheduler.
+
+    Built :class:`Scheduler` instances pass through untouched (their
+    seed/horizon were fixed at construction); specs and names go through
+    :func:`repro.policies.build_scheduler`.
+    """
+    if isinstance(policy, Scheduler):
+        return policy
+    return build_scheduler(policy, seed=seed, horizon=horizon)
 
 #: Named scoring functions ``f(result, reference, t_end) -> float`` usable
 #: in a :class:`~repro.experiments.spec.ScenarioSpec` ``metrics`` tuple.
@@ -38,37 +66,51 @@ METRICS: dict[str, Callable[[SchedulerResult, SchedulerResult, int], float]] = {
 def evaluate_portfolio(
     workload: Workload,
     t_end: int,
-    algorithms: Sequence[Scheduler],
-    reference: Scheduler,
+    algorithms: Sequence[PolicyLike],
+    reference: PolicyLike = "ref",
     metrics: Sequence[str] = ("avg_delay",),
     members: Iterable[int] | None = None,
+    *,
+    seed: int = 0,
 ) -> dict[str, dict[str, float]]:
     """Score every algorithm against ``reference`` under every named metric.
 
     This is the pipeline's per-instance evaluation kernel (steps 5-6 of the
     Section 7.2 protocol, generalized to a metric set): the reference runs
     once, each algorithm runs once, and the result is
-    ``{metric: {algorithm: value}}``.
+    ``{metric: {algorithm: value}}``.  Policy-like entries resolve with
+    ``horizon=t_end`` and ``seed``.
     """
     unknown = [m for m in metrics if m not in METRICS]
     if unknown:
         raise KeyError(f"unknown metrics {unknown}; available: {sorted(METRICS)}")
-    ref_result = reference.run(workload, members)
+    ref_result = as_scheduler(reference, seed=seed, horizon=t_end).run(
+        workload, members
+    )
     out: dict[str, dict[str, float]] = {m: {} for m in metrics}
     for alg in algorithms:
-        result = alg.run(workload, members)
+        result = as_scheduler(alg, seed=seed, horizon=t_end).run(
+            workload, members
+        )
         for m in metrics:
-            out[m][alg.name] = float(METRICS[m](result, ref_result, t_end))
+            out[m][result.algorithm] = float(
+                METRICS[m](result, ref_result, t_end)
+            )
     return out
 
 
 def run_schedule(
-    scheduler: Scheduler,
+    scheduler: PolicyLike,
     workload: Workload,
     members: Iterable[int] | None = None,
+    *,
+    seed: int = 0,
+    horizon: "int | None" = None,
 ) -> SchedulerResult:
-    """Run one scheduler (alias for ``scheduler.run`` with a stable name)."""
-    return scheduler.run(workload, members)
+    """Run one scheduler (policy-like values resolve through the registry)."""
+    return as_scheduler(scheduler, seed=seed, horizon=horizon).run(
+        workload, members
+    )
 
 
 @dataclass(frozen=True)
@@ -106,26 +148,33 @@ class Comparison:
 
 
 def compare_algorithms(
-    algorithms: Sequence[Scheduler],
-    reference: Scheduler,
+    algorithms: Sequence[PolicyLike],
+    reference: PolicyLike,
     workload: Workload,
     t_end: int,
     members: Iterable[int] | None = None,
+    *,
+    seed: int = 0,
 ) -> Comparison:
     """Run ``algorithms`` and ``reference`` on ``workload``; score fairness.
 
     This is one cell of the paper's Tables 1-2: every algorithm's
     :math:`\\Delta\\psi / p_{tot}` against the REF schedule at ``t_end``.
+    Policy-like entries (specs / names) resolve through
+    :data:`repro.policies.POLICY_REGISTRY` with ``horizon=t_end``.
     """
-    ref_result = reference.run(workload, members)
+    ref_result = as_scheduler(reference, seed=seed, horizon=t_end).run(
+        workload, members
+    )
     outcomes = []
     for alg in algorithms:
+        scheduler = as_scheduler(alg, seed=seed, horizon=t_end)
         started = time.perf_counter()
-        result = alg.run(workload, members)
+        result = scheduler.run(workload, members)
         elapsed = time.perf_counter() - started
         outcomes.append(
             AlgorithmOutcome(
-                algorithm=alg.name,
+                algorithm=result.algorithm,
                 result=result,
                 delta_psi=unfairness(result, ref_result, t_end),
                 avg_delay=avg_delay(result, ref_result, t_end),

@@ -30,7 +30,7 @@ from repro.core.engine import ClusterEngine
 from repro.core.job import Job
 from repro.service import ClusterService, ReplayDriver, replay_scenario
 from repro.service.daemon import serve_loop
-from repro.service.service import POLICIES, batch_counterpart
+from repro.policies import build_scheduler, policy_names
 from repro.service.snapshot import (
     SNAPSHOT_VERSION,
     check_snapshot,
@@ -41,7 +41,7 @@ from repro.service.state import ServiceOp
 from .conftest import make_workload, random_workload
 from .golden_transcripts import GOLDEN
 
-ALL_POLICIES = sorted(POLICIES)
+ALL_POLICIES = sorted(policy_names("step"))
 
 SWF_FIXTURE = str(Path(__file__).parent / "data" / "tiny.swf")
 
@@ -192,7 +192,9 @@ class TestScenarioFamilies:
             "swf", policy="directcontr", metrics=("avg_delay",),
             duration=400, n_repeats=1, n_orgs=3, swf_path=SWF_FIXTURE,
         )
-        batch = batch_counterpart("directcontr", alg_seed, spec.duration)
+        batch = build_scheduler(
+            "directcontr", seed=alg_seed, horizon=spec.duration
+        )
         batch_result = batch.run(workload)
         ref_result = RefScheduler(horizon=spec.duration).run(workload)
         want = METRICS["avg_delay"](batch_result, ref_result, spec.duration)
@@ -506,9 +508,30 @@ class TestDaemon:
         assert [r["ok"] for r in responses] == [False] * 4 + [True]
 
     def test_batch_counterpart_params_flow_through_registry(self):
-        scheduler = POLICIES["rand"][1](3, 100, {"n_orderings": 30})
+        scheduler = build_scheduler("rand:n_orderings=30", seed=3, horizon=100)
         assert scheduler.n_orderings == 30
-        assert batch_counterpart("rand", 3, 100, {"n_orderings": 30}).n_orderings == 30
+
+    def test_deprecated_dispatch_shims_still_work(self):
+        """The pre-registry surface forwards to the registry, warning."""
+        import repro.service.service as service_mod
+
+        with pytest.warns(DeprecationWarning):
+            legacy = service_mod.POLICIES
+        assert sorted(legacy) == ALL_POLICIES
+        assert legacy["rand"][1](3, 100, {"n_orderings": 30}).n_orderings == 30
+        with pytest.warns(DeprecationWarning):
+            batch = service_mod.batch_counterpart(
+                "rand", 3, 100, {"n_orderings": 30}
+            )
+        assert batch.n_orderings == 30
+        # pre-registry factories ignored undeclared params (callers passed
+        # one dict for any policy name); the shims must keep doing so
+        with pytest.warns(DeprecationWarning):
+            fifo = service_mod.batch_counterpart(
+                "fifo", 0, 100, {"n_orderings": 30}
+            )
+        assert fifo.name == "GreedyFIFO"
+        assert legacy["fifo"][1](0, 100, {"n_orderings": 30}).name == "GreedyFIFO"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,100 @@
+"""Generate / check the committed ``repro.api`` surface snapshot.
+
+The public surface is a deliverable: ``API_SURFACE.txt`` at the
+repository root lists every ``repro.api`` export with its callable
+signature, one per line.  CI (and ``tests/test_policy_registry.py``)
+runs ``--check`` so any surface change must come with a reviewed,
+regenerated snapshot (``--write``)::
+
+    PYTHONPATH=src python tools/api_surface.py --check
+    PYTHONPATH=src python tools/api_surface.py --write
+
+Lines are ``name(signature)  # kind`` — for classes the signature is the
+constructor's, which for dataclasses pins the field set, so adding or
+removing a field on e.g. ``PolicyCapabilities`` also shows up here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "API_SURFACE.txt"
+
+HEADER = (
+    "# repro.api public surface — regenerate with\n"
+    "#   PYTHONPATH=src python tools/api_surface.py --write\n"
+    "# CI fails when this file does not match the code (api-surface job).\n"
+)
+
+
+def surface_lines() -> list[str]:
+    """One stable line per ``repro.api`` export (sorted by name)."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro import api
+
+    lines = []
+    for name in sorted(api.__all__):
+        obj = getattr(api, name)
+        if inspect.isclass(obj):
+            kind = "class"
+        elif inspect.isfunction(obj):
+            kind = "function"
+        elif callable(obj):
+            kind = "callable"
+        else:
+            kind = type(obj).__name__
+        try:
+            sig = str(inspect.signature(obj)) if callable(obj) else ""
+        except (TypeError, ValueError):
+            sig = "(...)"
+        lines.append(f"{name}{sig}  # {kind}")
+    return lines
+
+
+def render() -> str:
+    return HEADER + "\n".join(surface_lines()) + "\n"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) when API_SURFACE.txt does not match the code",
+    )
+    mode.add_argument(
+        "--write", action="store_true", help="regenerate API_SURFACE.txt"
+    )
+    args = parser.parse_args(argv)
+
+    want = render()
+    if args.write:
+        SNAPSHOT.write_text(want, encoding="utf-8")
+        print(f"wrote {SNAPSHOT} ({len(want.splitlines()) - 3} exports)")
+        return 0
+    have = SNAPSHOT.read_text(encoding="utf-8") if SNAPSHOT.exists() else ""
+    if have == want:
+        print(f"API surface OK ({len(want.splitlines()) - 3} exports)")
+        return 0
+    import difflib
+
+    diff = difflib.unified_diff(
+        have.splitlines(), want.splitlines(),
+        fromfile="API_SURFACE.txt (committed)", tofile="repro.api (code)",
+        lineterm="",
+    )
+    print("\n".join(diff))
+    print(
+        "\nAPI surface drift: review the change, then regenerate with\n"
+        "  PYTHONPATH=src python tools/api_surface.py --write",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
