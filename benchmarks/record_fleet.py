@@ -1,102 +1,27 @@
-"""Record the CoalitionFleet speedup trajectory into BENCH_fleet.json.
+"""Record the CoalitionFleet/FleetKernel speedup trajectory (thin wrapper).
 
-Times the REF k=8 event loop (benchmarks/bench_engine.ref_k8_workload), the
-REF k=4 instance of ``test_ref_event_cost``, and a plain engine drive, then
-writes the measurements next to the frozen seed baselines so the perf
-trajectory across PRs stays comparable::
+The recorder now lives in :mod:`repro.bench` behind the ``repro bench
+fleet`` CLI subcommand; this script is kept as the historical entry point::
 
-    PYTHONPATH=src python benchmarks/record_fleet.py [--output BENCH_fleet.json]
+    PYTHONPATH=src python benchmarks/record_fleet.py \
+        [--output BENCH_fleet.json] [--quick] \
+        [--check-against BENCH_fleet.json] [--tolerance 0.35]
 
-The seed numbers were measured on the pre-fleet implementation (PR 1, same
-harness, best of 5) and are kept fixed; ``speedup_ref_k8`` is the
-acceptance metric for the fleet refactor (target >= 2.0 on comparable
-hardware -- CI containers vary, so the committed BENCH_fleet.json records
-the reference measurement).
+It times the REF k=8 event loop on both backends (plus the k=10 and RAND
+N=75 oracle tiers), writes the measurements next to the frozen seed
+baselines, and with ``--check-against`` acts as the perf-gate: exit 1 when
+a kernel speedup *ratio* regresses below the committed record.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-import numpy as np  # noqa: E402
-
-from repro.algorithms.greedy import fifo_select  # noqa: E402
-from repro.algorithms.ref import RefScheduler  # noqa: E402
-from repro.core.engine import ClusterEngine  # noqa: E402
-
-from benchmarks.bench_engine import ref_k8_workload  # noqa: E402
-from tests.conftest import random_workload  # noqa: E402
-
-#: Pre-refactor wall-clock baselines (seconds, best of 5; PR 1 container).
-SEED_BASELINES = {
-    "ref_k8_seconds": 0.2286,
-    "ref_k4_seconds": 0.0053,
-}
-
-
-def best_of(fn, rounds: int = 5) -> float:
-    best = float("inf")
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
-def measure() -> dict:
-    wl8 = ref_k8_workload()
-    rng = np.random.default_rng(3)
-    wl4 = random_workload(
-        rng, n_orgs=4, n_jobs=40, max_release=60,
-        sizes=(1, 2, 5), machine_counts=[1, 1, 1, 1],
-    )
-    rng = np.random.default_rng(42)
-    wl_engine = random_workload(
-        rng, n_orgs=4, n_jobs=60, max_release=200,
-        sizes=(1, 3, 9, 27), machine_counts=[2, 1, 1, 1],
-    )
-
-    def drive_engine():
-        eng = ClusterEngine(wl_engine)
-        eng.drive(fifo_select)
-
-    ref_k8 = best_of(lambda: RefScheduler().run(wl8))
-    ref_k4 = best_of(lambda: RefScheduler().run(wl4))
-    engine_drive = best_of(drive_engine)
-    # the k=4 dispatch guard: with vectorization forced on, the same
-    # instance must not beat the exact small-k path REF chooses (see
-    # benchmarks/bench_smallk.py for the asserting version)
-    from repro.algorithms import ref as ref_mod
-
-    default_threshold = ref_mod.VECTORIZE_MIN_K
-    try:
-        ref_mod.VECTORIZE_MIN_K = 0
-        ref_k4_vectorized = best_of(lambda: RefScheduler().run(wl4))
-    finally:
-        ref_mod.VECTORIZE_MIN_K = default_threshold
-    return {
-        "seed": SEED_BASELINES,
-        "fleet": {
-            "ref_k8_seconds": round(ref_k8, 4),
-            "ref_k4_seconds": round(ref_k4, 4),
-            "ref_k4_forced_vectorized_seconds": round(ref_k4_vectorized, 4),
-            "engine_drive_seconds": round(engine_drive, 4),
-        },
-        "speedup_ref_k8": round(SEED_BASELINES["ref_k8_seconds"] / ref_k8, 2),
-        "speedup_ref_k4": round(SEED_BASELINES["ref_k4_seconds"] / ref_k4, 2),
-        "smallk_dispatch_ok": bool(ref_k4 <= ref_k4_vectorized * 1.15),
-        "vectorize_min_k": default_threshold,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
+from repro.bench import SEED_BASELINES, main as bench_main  # noqa: E402,F401
 
 
 def main() -> int:
@@ -105,11 +30,12 @@ def main() -> int:
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_fleet.json"),
     )
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check-against", default=None, dest="check_against")
+    parser.add_argument("--tolerance", type=float, default=0.35)
     args = parser.parse_args()
-    results = measure()
-    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
-    print(json.dumps(results, indent=2))
-    return 0
+    args.bench = "fleet"
+    return bench_main(args)
 
 
 if __name__ == "__main__":

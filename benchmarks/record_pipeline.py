@@ -1,104 +1,27 @@
-"""Record pipeline serial-vs-parallel wall time into BENCH_pipeline.json.
+"""Record pipeline serial-vs-parallel wall time (thin wrapper).
 
-Runs a multi-instance Table-1-class experiment (the ``synthetic`` family,
-LPC-EGEE, paper-protocol portfolio) three ways and records the wall
-times::
-
-    serial      workers=1, no cache
-    parallel    workers=4, no cache
-    resume      workers=1, replayed entirely from a warm JSONL checkpoint
+The recorder now lives in :mod:`repro.bench` behind ``repro bench
+pipeline``; this script is kept as the historical entry point::
 
     PYTHONPATH=src python benchmarks/record_pipeline.py \
         [--output BENCH_pipeline.json] [--workers 4] [--repeats 12]
 
 ``speedup_parallel`` is the acceptance metric for the pipeline fan-out
-(target >= 2.0 at workers=4 on >= 4-CPU hardware).  The recording
-machine's CPU budget is written alongside (``cpus``): process fan-out
-cannot beat serial on a single-CPU container, so judge the committed
-number against its recorded ``cpus`` — CI regenerates this file on
-multi-core runners and uploads it as an artifact next to BENCH_fleet.json.
-``speedup_resume`` shows what the checkpoint buys: a finished experiment
-replays in milliseconds.  Bit-equality of the three runs' aggregates is
-asserted here as well as in the test suite.
+(target >= 2.0 at workers=4 on >= 4-CPU hardware).  Judge the committed
+number against its recorded ``cpus`` field -- process fan-out cannot beat
+serial on a single-CPU container.  Bit-equality of the serial, parallel
+and cache-resumed runs is asserted before anything is recorded.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
-import tempfile
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.pipeline import run_pipeline  # noqa: E402
-from repro.experiments.spec import ScenarioSpec  # noqa: E402
-
-
-def bench_spec(repeats: int) -> ScenarioSpec:
-    """A Table-1-class experiment: one trace, paper portfolio, many
-    windows (the repeat axis is what the executor fans out)."""
-    return ScenarioSpec(
-        family="synthetic",
-        traces=("LPC-EGEE",),
-        n_orgs=5,
-        duration=8_000,
-        n_repeats=repeats,
-        seed=0,
-    )
-
-
-def measure(workers: int, repeats: int) -> dict:
-    spec = bench_spec(repeats)
-
-    t0 = time.perf_counter()
-    serial = run_pipeline(spec, workers=1, keep_instances=True)
-    serial_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    parallel = run_pipeline(spec, workers=workers, keep_instances=True)
-    parallel_s = time.perf_counter() - t0
-
-    with tempfile.TemporaryDirectory() as cache_dir:
-        run_pipeline(spec, workers=workers, cache_dir=cache_dir)  # warm
-        t0 = time.perf_counter()
-        resumed = run_pipeline(spec, workers=1, cache_dir=cache_dir,
-                               keep_instances=True)
-        resume_s = time.perf_counter() - t0
-
-    if serial.instances != parallel.instances:
-        raise AssertionError("parallel run is not bit-identical to serial")
-    if serial.instances != resumed.instances:
-        raise AssertionError("cache replay is not bit-identical to serial")
-    if resumed.computed != 0:
-        raise AssertionError("warm-cache replay recomputed instances")
-
-    return {
-        "spec": {
-            "family": spec.family,
-            "traces": list(spec.traces),
-            "duration": spec.duration,
-            "n_repeats": spec.n_repeats,
-            "portfolio": spec.portfolio,
-            "hash": spec.content_hash(),
-        },
-        "instances": len(spec.instances()),
-        "workers": workers,
-        "serial_seconds": round(serial_s, 2),
-        "parallel_seconds": round(parallel_s, 2),
-        "resume_seconds": round(resume_s, 4),
-        "speedup_parallel": round(serial_s / parallel_s, 2),
-        "speedup_resume": round(serial_s / resume_s, 1),
-        "cpus": len(os.sched_getaffinity(0))
-        if hasattr(os, "sched_getaffinity")
-        else os.cpu_count(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
+from repro.bench import main as bench_main  # noqa: E402
 
 
 def main() -> int:
@@ -112,10 +35,8 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeats", type=int, default=12)
     args = parser.parse_args()
-    results = measure(args.workers, args.repeats)
-    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
-    print(json.dumps(results, indent=2))
-    return 0
+    args.bench = "pipeline"
+    return bench_main(args)
 
 
 if __name__ == "__main__":

@@ -1,129 +1,41 @@
-"""Record online-service event throughput into BENCH_service.json.
+"""Record online-service event throughput (thin wrapper).
 
-Streams a multi-organization synthetic workload through
-:class:`repro.service.ClusterService` under several policies and records
-sustained decision-event throughput (events/sec), plus the snapshot /
-restore cost on a mid-sized journal::
+The recorder now lives in :mod:`repro.bench` behind ``repro bench
+service``; this script is kept as the historical entry point::
 
     PYTHONPATH=src python benchmarks/record_service.py \
         [--output BENCH_service.json] [--jobs 600]
 
 ``events_per_sec`` is the ISSUE 3 acceptance number: the service must
-sustain event streams, not just pass equivalence tests.  Single-engine
-policies (DIRECTCONTR, FAIRSHARE, FIFO) are the serving-throughput
-headline; REF is recorded at small k as the exact-recursion baseline
-(its per-event cost is exponential in k by design, Prop. 3.4).  Every
-recorded run also re-verifies replay == batch equivalence -- a throughput
-number for a wrong schedule would be meaningless.
+sustain event streams, not just pass equivalence tests.  Every recorded
+run re-verifies replay == batch equivalence first -- a throughput number
+for a wrong schedule would be meaningless.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
-import time
 from pathlib import Path
-
-import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.job import Job  # noqa: E402
-from repro.core.organization import Organization  # noqa: E402
-from repro.core.workload import Workload  # noqa: E402
-from repro.service import ClusterService, ReplayDriver  # noqa: E402
-
-#: (record key, policy name, org machine counts, job count scale)
-RUNS = (
-    ("directcontr_k5", "directcontr", (3, 2, 2, 1, 1), 1.0),
-    ("fairshare_k5", "fairshare", (3, 2, 2, 1, 1), 1.0),
-    ("fifo_k5", "fifo", (3, 2, 2, 1, 1), 1.0),
-    ("rand_k5", "rand", (3, 2, 2, 1, 1), 0.5),
-    ("ref_k4", "ref", (2, 1, 1, 1), 0.25),
-)
-
-
-def service_workload(
-    machine_counts: "tuple[int, ...]", n_jobs: int, seed: int = 0
-) -> Workload:
-    """A bursty multi-org stream sized for sustained-throughput timing."""
-    rng = np.random.default_rng(seed)
-    k = len(machine_counts)
-    orgs = [Organization(i, m) for i, m in enumerate(machine_counts)]
-    releases: "dict[int, list[int]]" = {u: [] for u in range(k)}
-    t = 0
-    for _ in range(n_jobs):
-        t += int(rng.integers(0, 3))
-        releases[int(rng.integers(0, k))].append(t)
-    jobs = []
-    for u, rels in releases.items():
-        for i, r in enumerate(sorted(rels)):
-            jobs.append(Job(r, u, i, int(rng.integers(1, 6)), id=-1))
-    return Workload(orgs, jobs)
-
-
-def record(n_jobs: int) -> dict:
-    runs: dict = {}
-    for key, policy, machines, scale in RUNS:
-        wl = service_workload(machines, max(20, int(n_jobs * scale)))
-        report = ReplayDriver(wl, policy, seed=0).run()
-        if not report.equivalent:
-            raise SystemExit(
-                f"{key}: replay != batch -- refusing to record a "
-                f"throughput number for a wrong schedule"
-            )
-        runs[key] = {
-            "policy": report.policy,
-            "n_orgs": len(machines),
-            "n_jobs": report.n_jobs,
-            "n_events": report.n_events,
-            "wall_time_s": round(report.wall_time_s, 4),
-            "events_per_sec": round(report.events_per_sec, 1),
-            "replay_equals_batch": report.equivalent,
-        }
-
-    # snapshot / restore cost on a mid-sized journal
-    wl = service_workload((3, 2, 2, 1, 1), max(20, n_jobs))
-    svc = ClusterService(wl.machine_counts(), "directcontr", seed=0)
-    for job in sorted(wl.jobs):
-        svc.submit_job(job)
-        svc.advance(job.release)
-    svc.drain()
-    t0 = time.perf_counter()
-    snap = svc.snapshot()
-    snapshot_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    restored = ClusterService.restore(snap)
-    restore_s = time.perf_counter() - t0
-    if restored.schedule() != svc.schedule():
-        raise SystemExit("restore != live -- refusing to record")
-    return {
-        "bench": "service",
-        "python": platform.python_version(),
-        "cpus": os.cpu_count(),
-        "runs": runs,
-        "snapshot": {
-            "journal_ops": len(svc.journal),
-            "snapshot_s": round(snapshot_s, 4),
-            "restore_s": round(restore_s, 4),
-            "restore_verified": True,
-        },
-    }
+from repro.bench import main as bench_main  # noqa: E402
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_service.json")
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        ),
+    )
     parser.add_argument("--jobs", type=int, default=600)
     args = parser.parse_args()
-    payload = record(args.jobs)
-    Path(args.output).write_text(json.dumps(payload, indent=1) + "\n")
-    print(json.dumps(payload, indent=1))
-    return 0
+    args.bench = "service"
+    return bench_main(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())

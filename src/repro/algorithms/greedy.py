@@ -25,6 +25,13 @@ def fifo_select(engine: ClusterEngine) -> int:
     )
 
 
+#: Marks the selector as natively understood by the batched
+#: :class:`~repro.core.kernel.FleetKernel`: a fleet driven with it advances
+#: every coalition in one vectorized lockstep sweep instead of per-engine
+#: Python loops (bit-identical schedules; see DESIGN.md §8).
+fifo_select.kernel_policy = "fifo"
+
+
 class GreedyFifoScheduler(PolicyScheduler):
     """Global first-come-first-served over all organizations."""
 

@@ -88,6 +88,7 @@ class RandRun:
         )
         self.prefixes = SampledPrefixes(workload.n_orgs, orderings)
         self.sampled = sorted(m for m in self.prefixes.masks if m)
+        self._sampled_t = tuple(self.sampled)
         self.oracle = (
             oracle_factory(self.sampled)
             if oracle_factory is not None
@@ -117,9 +118,20 @@ class RandRun:
             # keep the oracle engines lazily behind; they are only
             # needed at decision times
             return
-        values = self.oracle.values_at(t, select=fifo_select)
-        # contribution estimate scaled by N (exact integers)
-        phi_scaled = self.prefixes.estimate_scaled(values)
+        # contribution estimate scaled by N (exact integers); with the
+        # batched oracle the whole estimate is one int64 matrix-vector
+        # product over the coalition value vector, guarded like every other
+        # vectorized path (None -> exact big-int dict fallback)
+        phi_scaled = None
+        arr = self.oracle.values_array(t, select=fifo_select)
+        if arr is not None and self.oracle.masks == self._sampled_t:
+            max_abs = int(np.abs(arr).max()) if len(arr) else 0
+            phi_scaled = self.prefixes.estimate_scaled_array(
+                self._sampled_t, arr, max_abs
+            )
+        if phi_scaled is None:
+            values = self.oracle.values_at(t, select=fifo_select)
+            phi_scaled = self.prefixes.estimate_scaled(values)
         psis = grand.psis(t)
         keys = {
             u: phi_scaled[u] - self.n_orderings * psis[u]

@@ -112,6 +112,13 @@ def _update_terms(
     return tuple(terms)
 
 
+@lru_cache(maxsize=4)
+def _solver_for(masks: "tuple[int, ...]") -> ScaledShapleySolver:
+    """One :class:`ScaledShapleySolver` per coalition layout, shared across
+    runs (its cached coefficient plans depend only on the mask order)."""
+    return ScaledShapleySolver({m: i for i, m in enumerate(masks)})
+
+
 def update_vals_scaled(mask: int, values: dict[int, int]) -> dict[int, int]:
     """Shapley contributions of the members of ``mask``, scaled by ``|mask|!``.
 
@@ -180,12 +187,19 @@ class RefRun:
         )
         self._vectorize = popcount(grand_mask) >= VECTORIZE_MIN_K
         # the coefficient-matrix solver only serves the numpy path; below
-        # the dispatch threshold its construction would be pure overhead
+        # the dispatch threshold its construction would be pure overhead.
+        # Coefficients are pure combinatorics (independent of the workload),
+        # so solvers are shared across runs with the same coalition layout.
         self.solver = (
-            ScaledShapleySolver({m: i for i, m in enumerate(self.fleet.masks)})
-            if self._vectorize
-            else None
+            _solver_for(tuple(self.fleet.masks)) if self._vectorize else None
         )
+        # per size group: (row range in fleet.masks order, masks tuple) --
+        # the kernel fast path addresses whole groups as contiguous rows
+        self._group_rows: list[tuple[int, int, tuple[int, ...]]] = []
+        row = 0
+        for group in self.size_groups[1:]:
+            self._group_rows.append((row, row + len(group), tuple(group)))
+            row += len(group)
         self.last_phi_scaled: dict[int, int] = {}
         self.last_event: int = 0
 
@@ -204,6 +218,9 @@ class RefRun:
     def _on_event(self, fleet: CoalitionFleet, t: int) -> None:
         """Fig. 1's per-event body: batched values, then size-ordered
         ``UpdateVals`` + Fig. 3 scheduling for every capable coalition."""
+        if self._vectorize and fleet.kernel is not None:
+            self._on_event_kernel(fleet, t)
+            return
         vals = None
         max_abs = 0
         if self._vectorize:
@@ -255,6 +272,119 @@ class RefRun:
                     for u in iter_members(m)
                 }
                 fill_capacity(fleet, m, keys)
+
+    def _kernel_rows(self, kern) -> "list[tuple[np.ndarray, tuple[int, ...]]]":
+        """Per size group, the kernel row indices of the group's masks
+        (cached per kernel object; an injected fleet may order rows
+        differently from ``self.nonempty``)."""
+        cached = getattr(self, "_kernel_rows_cache", None)
+        if cached is not None and cached[0] is kern:
+            return cached[1]
+        groups = [
+            (
+                np.array([kern._row[m] for m in group], dtype=np.intp),
+                group,
+            )
+            for _, _, group in self._group_rows
+        ]
+        self._kernel_rows_cache = (kern, groups)
+        return groups
+
+    def _on_event_kernel(self, fleet: CoalitionFleet, t: int) -> None:
+        """Fig. 1's per-event body on the structure-of-arrays kernel: one
+        lockstep advance, one batched value/psi query, one dense
+        ``UpdateVals`` matmul per size group, and vectorized scheduling
+        rounds -- bit-identical decisions to the per-engine body."""
+        vals = fleet.values_array(t)  # advances the kernel to t
+        kern = fleet.kernel
+        if kern is None:  # materialized mid-query (unknown drive policy)
+            self._on_event(fleet, t)
+            return
+        if vals is None:
+            self._on_event_exact(fleet, t, None)
+            return
+        capable = kern.capable_rows()
+        if not capable.any():
+            return
+        max_abs = int(np.abs(vals).max()) if len(vals) else 0
+        psis = kern.psis_matrix(t)
+        if psis is None:
+            self._on_event_exact(fleet, t, vals)
+            return
+        psis_absmax = int(np.abs(psis).max()) if psis.size else 0
+        values_dict: dict[int, int] | None = None
+        all_rows: list[np.ndarray] = []
+        all_keys: list[np.ndarray] = []
+        for rows_arr, group in self._kernel_rows(kern):
+            sel = np.flatnonzero(capable[rows_arr])
+            if not sel.size:
+                continue
+            grp_rows = rows_arr[sel]
+            fact = factorial(popcount(group[0]))
+            dense = self.solver.phi_scaled_matrix(
+                group, vals, max_abs, self.workload.n_orgs
+            )
+            # int64 keys need |phi| + |C|!·|psi| certified below 2^63
+            if dense is None or dense[1] + fact * psis_absmax >= 1 << 63:
+                if values_dict is None:
+                    values_dict = {0: 0}
+                    values_dict.update(zip(fleet.masks, vals.tolist()))
+                self._schedule_group_exact(fleet, t, group, values_dict)
+                continue
+            phi_full, _ = dense
+            if self.grand_mask in group:
+                g = group.index(self.grand_mask)
+                if capable[rows_arr[g]]:
+                    self.last_phi_scaled = {
+                        u: int(phi_full[g, u])
+                        for u in iter_members(self.grand_mask)
+                    }
+            all_rows.append(grp_rows)
+            all_keys.append(phi_full[sel] - fact * psis[grp_rows])
+        if all_rows:
+            # coalitions only ever start jobs on their own engine, so the
+            # whole capable set fills in one batched round sequence
+            fleet.fill_rows(
+                np.concatenate(all_rows), np.concatenate(all_keys), t
+            )
+
+    def _schedule_group_exact(
+        self,
+        fleet: CoalitionFleet,
+        t: int,
+        group: "tuple[int, ...]",
+        values_dict: dict[int, int],
+    ) -> None:
+        """Exact big-int ``UpdateVals`` + Fig. 3 scheduling for one size
+        group (the kernel path's overflow fallback; engine views keep the
+        selection loop identical to the per-engine body)."""
+        fact = factorial(popcount(group[0]))
+        for m in group:
+            eng = fleet.engine(m)
+            if eng.free_count <= 0 or not eng.has_waiting():
+                continue
+            phi_scaled = update_vals_scaled(m, values_dict)
+            if m == self.grand_mask:
+                self.last_phi_scaled = dict(phi_scaled)
+            psis = eng.psis(t)
+            keys = {
+                u: phi_scaled[u] - fact * psis[u] for u in iter_members(m)
+            }
+            fill_capacity(fleet, m, keys)
+
+    def _on_event_exact(
+        self, fleet: CoalitionFleet, t: int, vals: "np.ndarray | None"
+    ) -> None:
+        """Kernel-mode overflow fallback: the whole Fig. 1 body in exact
+        big-int arithmetic (values from the certified ledgers, selection
+        through engine views)."""
+        values_dict: dict[int, int] = {0: 0}
+        if vals is not None:
+            values_dict.update(zip(fleet.masks, vals.tolist()))
+        else:
+            values_dict = fleet.values_at(t)
+        for group in self.size_groups[1:]:
+            self._schedule_group_exact(fleet, t, group, values_dict)
 
     def values_at(self, t: int) -> dict[int, int]:
         """Coalition values at ``t`` (all engines advanced at least to ``t``)."""

@@ -43,11 +43,13 @@ from .algorithms.base import PolicyScheduler, Scheduler, SchedulerResult
 from .core import (
     ClusterEngine,
     CoalitionFleet,
+    FleetKernel,
     Job,
     Organization,
     Schedule,
     ScheduledJob,
     Workload,
+    kernel_certified,
 )
 from .experiments.pipeline import PipelineResult, run_pipeline
 from .experiments.registry import (
@@ -103,6 +105,7 @@ __all__ = [
     "ClusterService",
     "CoalitionFleet",
     "ENTRY_POINT_GROUP",
+    "FleetKernel",
     "InstanceSpec",
     "Job",
     "METRICS",
@@ -134,6 +137,7 @@ __all__ = [
     "discover_policies",
     "evaluate_portfolio",
     "get_policy",
+    "kernel_certified",
     "list_policies",
     "list_scenarios",
     "load_snapshot",

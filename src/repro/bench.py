@@ -1,0 +1,579 @@
+"""Benchmark recorders behind the ``repro bench`` CLI subcommand.
+
+One registry-driven home for the three BENCH_*.json trajectories (fleet /
+pipeline / service) that used to live in three separate
+``benchmarks/record_*.py`` scripts::
+
+    repro bench fleet [--quick] [--output BENCH_fleet.json]
+    repro bench pipeline [--workers 4] [--repeats 12]
+    repro bench service [--jobs 600]
+    repro bench all
+
+    repro bench fleet --quick --check-against BENCH_fleet.json
+
+Machine/python metadata is stamped in one place (:func:`machine_meta`), and
+the ``--check-against`` mode is the CI ``perf-gate``: it re-measures the
+kernel-vs-fleet speedup *ratios* on the current machine and fails (exit 1)
+when a ratio regresses below the committed BENCH_fleet.json value minus a
+tolerance.  Ratios compare two code paths timed in the same process on the
+same hardware, so slow CI runners shift both numerators and denominators
+together and the gate does not flake on machine speed -- unlike the
+wall-clock fields, which are only comparable against their recorded
+environment.
+
+The fleet bench drives three tiers:
+
+* the historical REF k=8 / k=4 instances (fields kept bit-compatible with
+  the PR 1 recorder so the trajectory stays comparable, including the
+  frozen pre-fleet seed baselines);
+* the kernel tiers -- REF k=8 and the previously impractical REF k=10,
+  plus the RAND N=75 value oracle at k=5 and k=8 -- each timed on both the
+  per-engine fleet and the :class:`~repro.core.kernel.FleetKernel`
+  backend, with decision events/sec alongside wall-clock.
+
+The legacy ``benchmarks/record_*.py`` entry points delegate here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "BENCHES",
+    "machine_meta",
+    "measure_fleet",
+    "measure_pipeline",
+    "measure_service",
+    "check_fleet_ratios",
+    "main",
+]
+
+#: Pre-refactor wall-clock baselines (seconds, best of 5; PR 1 container).
+#: Frozen: these were measured on the seed implementation and anchor the
+#: cross-PR speedup trajectory.
+SEED_BASELINES = {
+    "ref_k8_seconds": 0.2286,
+    "ref_k4_seconds": 0.0053,
+}
+
+#: Same-machine ratio fields enforced by the CI ``perf-gate`` job.
+GATED_RATIOS = (
+    "speedup_ref_k8_kernel_vs_fleet",
+    "speedup_rand_k8_n75_oracle",
+)
+
+
+def machine_meta() -> dict:
+    """The environment stamp shared by every BENCH_*.json record."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+    }
+
+
+def best_of(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# workload builders (self-contained: the CLI must not import the tests)
+# ----------------------------------------------------------------------
+def _random_workload(
+    rng: np.random.Generator,
+    n_orgs: int,
+    n_jobs: int,
+    max_release: int,
+    sizes: "tuple[int, ...]",
+    machine_counts: "list[int]",
+):
+    """Mirror of ``tests/conftest.random_workload`` (same RNG call
+    sequence, so historical instances stay bit-identical)."""
+    from .core.job import Job
+    from .core.organization import Organization
+    from .core.workload import Workload
+
+    per_org_releases: dict[int, list[int]] = {u: [] for u in range(n_orgs)}
+    for _ in range(n_jobs):
+        u = int(rng.integers(0, n_orgs))
+        per_org_releases[u].append(int(rng.integers(0, max_release + 1)))
+    triples = []
+    for u, rels in per_org_releases.items():
+        for r in sorted(rels):
+            triples.append((r, u, int(rng.choice(sizes))))
+    orgs = [Organization(i, m) for i, m in enumerate(machine_counts)]
+    counters = [0] * n_orgs
+    jobs = []
+    for release, org, size in triples:
+        jobs.append(Job(release, org, counters[org], size))
+        counters[org] += 1
+    return Workload(orgs, jobs)
+
+
+def ref_workload(k: int, n_jobs: int, seed: int):
+    """The REF k-scaling family (k=8/seed=8 is the historical
+    BENCH_fleet.json instance from ``benchmarks/bench_engine.py``)."""
+    rng = np.random.default_rng(seed)
+    return _random_workload(
+        rng, n_orgs=k, n_jobs=n_jobs, max_release=60,
+        sizes=(1, 2, 5), machine_counts=[1] * k,
+    )
+
+
+def rand_workload(k: int, seed: int = 8):
+    rng = np.random.default_rng(seed)
+    return _random_workload(
+        rng, n_orgs=k, n_jobs=8 * k, max_release=80,
+        sizes=(1, 2, 5), machine_counts=[1] * k,
+    )
+
+
+# ----------------------------------------------------------------------
+# fleet bench
+# ----------------------------------------------------------------------
+def _forced_backend(min_engines: int):
+    """Context manager pinning the kernel dispatch threshold."""
+    from contextlib import contextmanager
+
+    from .core import kernel as kernel_mod
+
+    @contextmanager
+    def cm():
+        old = kernel_mod.KERNEL_MIN_ENGINES
+        kernel_mod.KERNEL_MIN_ENGINES = min_engines
+        try:
+            yield
+        finally:
+            kernel_mod.KERNEL_MIN_ENGINES = old
+
+    return cm()
+
+
+_ENGINES_ONLY = 1 << 30
+
+
+def _time_ref(workload, rounds: int) -> "tuple[float, int]":
+    """(best wall seconds, decision events) for one full REF run."""
+    from .algorithms.base import drive_fleet, members_mask
+    from .algorithms.ref import RefRun
+
+    members, grand = members_mask(workload, None)
+    events = 0
+
+    def run():
+        nonlocal events
+        r = RefRun(workload, members, grand, None)
+        n = 0
+
+        def body(fleet, t):
+            nonlocal n
+            n += 1
+            r._on_event(fleet, t)
+
+        drive_fleet(r.fleet, body)
+        events = n
+
+    return best_of(run, rounds), events
+
+
+def _time_rand_oracle(
+    workload, n_orderings: int, rounds: int, backend: str
+) -> "tuple[float, int]":
+    """(best wall seconds, valued decision times) for the RAND value
+    oracle in isolation: drive the de-duplicated sampled prefix fleet to
+    each distinct release time and read all coalition values -- exactly
+    the per-event work `RandRun` asks of its oracle.  ``backend`` pins the
+    fleet implementation so both tiers measure what they claim even when
+    the auto-dispatch threshold would choose otherwise."""
+    from .algorithms.greedy import fifo_select
+    from .core.fleet import CoalitionFleet
+    from .shapley.sampling import SampledPrefixes
+
+    k = workload.n_orgs
+    times = sorted({j.release for j in workload.jobs})
+    tail = max(times) + sum(j.size for j in workload.jobs) // max(
+        1, workload.n_machines
+    )
+    times.append(tail)
+
+    def run():
+        rng = np.random.default_rng(0)
+        member_arr = np.arange(k, dtype=np.int64)
+        orderings = np.stack(
+            [rng.permutation(member_arr) for _ in range(n_orderings)]
+        )
+        prefixes = SampledPrefixes(k, orderings)
+        sampled = sorted(m for m in prefixes.masks if m)
+        fleet = CoalitionFleet(
+            workload, sampled, track_events=False, backend=backend
+        )
+        for t in times:
+            # values_array is what RandRun consumes per decision time (the
+            # dict form only materializes on the exact fallback)
+            fleet.values_array(t, select=fifo_select)
+
+    return best_of(run, rounds), len(times)
+
+
+def _time_rand_full(workload, n_orderings: int, rounds: int) -> float:
+    from .algorithms.rand import RandScheduler
+
+    return best_of(
+        lambda: RandScheduler(n_orderings=n_orderings, seed=0).run(workload),
+        rounds,
+    )
+
+
+def measure_fleet(quick: bool = False) -> dict:
+    """The BENCH_fleet.json payload (``--quick``: fewer rounds, no k=10)."""
+    from .algorithms import ref as ref_mod
+    from .algorithms.greedy import fifo_select
+    from .algorithms.ref import RefScheduler
+    from .core.engine import ClusterEngine
+
+    rounds = 2 if quick else 5
+    wl8 = ref_workload(8, 48, seed=8)
+    rng = np.random.default_rng(3)
+    wl4 = _random_workload(
+        rng, n_orgs=4, n_jobs=40, max_release=60,
+        sizes=(1, 2, 5), machine_counts=[1, 1, 1, 1],
+    )
+    rng = np.random.default_rng(42)
+    wl_engine = _random_workload(
+        rng, n_orgs=4, n_jobs=60, max_release=200,
+        sizes=(1, 3, 9, 27), machine_counts=[2, 1, 1, 1],
+    )
+    wl_rand5 = rand_workload(5)
+    wl_rand8 = rand_workload(8)
+
+    fleet_rand5_oracle, rand5_times = _time_rand_oracle(
+        wl_rand5, 75, rounds, "engines"
+    )
+    fleet_rand8_oracle, rand8_times = _time_rand_oracle(
+        wl_rand8, 75, rounds, "engines"
+    )
+    with _forced_backend(_ENGINES_ONLY):
+        fleet_ref_k8, ref_k8_events = _time_ref(wl8, rounds)
+        fleet_ref_k4 = best_of(lambda: RefScheduler().run(wl4), rounds)
+        fleet_rand8_full = _time_rand_full(wl_rand8, 75, rounds)
+
+        def drive_engine():
+            eng = ClusterEngine(wl_engine)
+            eng.drive(fifo_select)
+
+        engine_drive = best_of(drive_engine, rounds)
+
+        # the k=4 dispatch guard: with vectorization forced on, the same
+        # instance must not beat the exact small-k path REF chooses (the
+        # asserting version lives in benchmarks/bench_smallk.py)
+        default_threshold = ref_mod.VECTORIZE_MIN_K
+        try:
+            ref_mod.VECTORIZE_MIN_K = 0
+            ref_k4_vectorized = best_of(lambda: RefScheduler().run(wl4), rounds)
+        finally:
+            ref_mod.VECTORIZE_MIN_K = default_threshold
+
+    kernel_ref_k8, _ = _time_ref(wl8, rounds)
+    kernel_rand5_oracle, _ = _time_rand_oracle(wl_rand5, 75, rounds, "kernel")
+    kernel_rand8_oracle, _ = _time_rand_oracle(wl_rand8, 75, rounds, "kernel")
+    kernel_rand8_full = _time_rand_full(wl_rand8, 75, rounds)
+
+    from .core import kernel as kernel_mod
+
+    payload = {
+        "seed": SEED_BASELINES,
+        "fleet": {
+            "ref_k8_seconds": round(fleet_ref_k8, 4),
+            "ref_k4_seconds": round(fleet_ref_k4, 4),
+            "ref_k4_forced_vectorized_seconds": round(ref_k4_vectorized, 4),
+            "engine_drive_seconds": round(engine_drive, 4),
+            "rand_k5_n75_oracle_seconds": round(fleet_rand5_oracle, 4),
+            "rand_k8_n75_oracle_seconds": round(fleet_rand8_oracle, 4),
+            "rand_k8_n75_seconds": round(fleet_rand8_full, 4),
+        },
+        "kernel": {
+            "ref_k8_seconds": round(kernel_ref_k8, 4),
+            "ref_k8_events_per_sec": round(ref_k8_events / kernel_ref_k8, 1),
+            "rand_k5_n75_oracle_seconds": round(kernel_rand5_oracle, 4),
+            "rand_k8_n75_oracle_seconds": round(kernel_rand8_oracle, 4),
+            "rand_k8_n75_oracle_times_per_sec": round(
+                rand8_times / kernel_rand8_oracle, 1
+            ),
+            "rand_k8_n75_seconds": round(kernel_rand8_full, 4),
+        },
+        "speedup_ref_k8": round(
+            SEED_BASELINES["ref_k8_seconds"] / kernel_ref_k8, 2
+        ),
+        "speedup_ref_k4": round(
+            SEED_BASELINES["ref_k4_seconds"] / fleet_ref_k4, 2
+        ),
+        "speedup_ref_k8_kernel_vs_fleet": round(
+            fleet_ref_k8 / kernel_ref_k8, 2
+        ),
+        "speedup_rand_k8_n75_oracle": round(
+            fleet_rand8_oracle / kernel_rand8_oracle, 2
+        ),
+        "speedup_rand_k8_n75": round(fleet_rand8_full / kernel_rand8_full, 2),
+        "smallk_dispatch_ok": bool(fleet_ref_k4 <= ref_k4_vectorized * 1.15),
+        "vectorize_min_k": ref_mod.VECTORIZE_MIN_K,
+        "kernel_min_engines": kernel_mod.KERNEL_MIN_ENGINES,
+    }
+    if not quick:
+        wl10 = ref_workload(10, 40, seed=10)
+        with _forced_backend(_ENGINES_ONLY):
+            fleet_ref_k10, k10_events = _time_ref(wl10, 1)
+        kernel_ref_k10, _ = _time_ref(wl10, max(1, rounds - 2))
+        payload["fleet"]["ref_k10_seconds"] = round(fleet_ref_k10, 4)
+        payload["kernel"]["ref_k10_seconds"] = round(kernel_ref_k10, 4)
+        payload["kernel"]["ref_k10_events_per_sec"] = round(
+            k10_events / kernel_ref_k10, 1
+        )
+        payload["speedup_ref_k10_kernel_vs_fleet"] = round(
+            fleet_ref_k10 / kernel_ref_k10, 2
+        )
+    payload.update(machine_meta())
+    return payload
+
+
+def check_fleet_ratios(
+    measured: dict, committed_path: "str | Path", tolerance: float = 0.35
+) -> "list[str]":
+    """The perf-gate: compare the same-machine speedup *ratios* of a fresh
+    measurement against the committed BENCH_fleet.json; returns the list of
+    regression messages (empty = gate passes)."""
+    committed = json.loads(Path(committed_path).read_text())
+    problems = []
+    for field in GATED_RATIOS:
+        want = committed.get(field)
+        if want is None:
+            problems.append(f"{field}: missing from {committed_path}")
+            continue
+        floor = want * (1.0 - tolerance)
+        got = measured.get(field)
+        if got is None or got < floor:
+            problems.append(
+                f"{field}: measured {got} < committed {want} - {tolerance:.0%}"
+                f" tolerance (floor {floor:.2f})"
+            )
+    if not measured.get("smallk_dispatch_ok", False):
+        problems.append("smallk_dispatch_ok: small-k exact dispatch regressed")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# pipeline bench (moved from benchmarks/record_pipeline.py)
+# ----------------------------------------------------------------------
+def measure_pipeline(workers: int = 4, repeats: int = 12) -> dict:
+    """Serial vs parallel vs warm-cache resume wall times for a
+    Table-1-class experiment (see BENCH_pipeline.json)."""
+    from .experiments.pipeline import run_pipeline
+    from .experiments.spec import ScenarioSpec
+
+    spec = ScenarioSpec(
+        family="synthetic",
+        traces=("LPC-EGEE",),
+        n_orgs=5,
+        duration=8_000,
+        n_repeats=repeats,
+        seed=0,
+    )
+    t0 = time.perf_counter()
+    serial = run_pipeline(spec, workers=1, keep_instances=True)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_pipeline(spec, workers=workers, keep_instances=True)
+    parallel_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        run_pipeline(spec, workers=workers, cache_dir=cache_dir)  # warm
+        t0 = time.perf_counter()
+        resumed = run_pipeline(
+            spec, workers=1, cache_dir=cache_dir, keep_instances=True
+        )
+        resume_s = time.perf_counter() - t0
+
+    if serial.instances != parallel.instances:
+        raise AssertionError("parallel run is not bit-identical to serial")
+    if serial.instances != resumed.instances:
+        raise AssertionError("cache replay is not bit-identical to serial")
+    if resumed.computed != 0:
+        raise AssertionError("warm-cache replay recomputed instances")
+
+    return {
+        "spec": {
+            "family": spec.family,
+            "traces": list(spec.traces),
+            "duration": spec.duration,
+            "n_repeats": spec.n_repeats,
+            "portfolio": spec.portfolio,
+            "hash": spec.content_hash(),
+        },
+        "instances": len(spec.instances()),
+        "workers": workers,
+        "serial_seconds": round(serial_s, 2),
+        "parallel_seconds": round(parallel_s, 2),
+        "resume_seconds": round(resume_s, 4),
+        "speedup_parallel": round(serial_s / parallel_s, 2),
+        "speedup_resume": round(serial_s / resume_s, 1),
+        **machine_meta(),
+    }
+
+
+# ----------------------------------------------------------------------
+# service bench (moved from benchmarks/record_service.py)
+# ----------------------------------------------------------------------
+#: (record key, policy name, org machine counts, job count scale)
+SERVICE_RUNS = (
+    ("directcontr_k5", "directcontr", (3, 2, 2, 1, 1), 1.0),
+    ("fairshare_k5", "fairshare", (3, 2, 2, 1, 1), 1.0),
+    ("fifo_k5", "fifo", (3, 2, 2, 1, 1), 1.0),
+    ("rand_k5", "rand", (3, 2, 2, 1, 1), 0.5),
+    ("ref_k4", "ref", (2, 1, 1, 1), 0.25),
+)
+
+
+def service_workload(machine_counts: "tuple[int, ...]", n_jobs: int, seed: int = 0):
+    """A bursty multi-org stream sized for sustained-throughput timing."""
+    from .core.job import Job
+    from .core.organization import Organization
+    from .core.workload import Workload
+
+    rng = np.random.default_rng(seed)
+    k = len(machine_counts)
+    orgs = [Organization(i, m) for i, m in enumerate(machine_counts)]
+    releases: dict[int, list[int]] = {u: [] for u in range(k)}
+    t = 0
+    for _ in range(n_jobs):
+        t += int(rng.integers(0, 3))
+        releases[int(rng.integers(0, k))].append(t)
+    jobs = []
+    for u, rels in releases.items():
+        for i, r in enumerate(sorted(rels)):
+            jobs.append(Job(r, u, i, int(rng.integers(1, 6)), id=-1))
+    return Workload(orgs, jobs)
+
+
+def measure_service(n_jobs: int = 600) -> dict:
+    """Online-service event throughput plus snapshot/restore cost (see
+    BENCH_service.json); refuses to record non-equivalent runs."""
+    from .service import ClusterService, ReplayDriver
+
+    runs: dict = {}
+    for key, policy, machines, scale in SERVICE_RUNS:
+        wl = service_workload(machines, max(20, int(n_jobs * scale)))
+        report = ReplayDriver(wl, policy, seed=0).run()
+        if not report.equivalent:
+            raise SystemExit(
+                f"{key}: replay != batch -- refusing to record a "
+                f"throughput number for a wrong schedule"
+            )
+        runs[key] = {
+            "policy": report.policy,
+            "n_orgs": len(machines),
+            "n_jobs": report.n_jobs,
+            "n_events": report.n_events,
+            "wall_time_s": round(report.wall_time_s, 4),
+            "events_per_sec": round(report.events_per_sec, 1),
+            "replay_equals_batch": report.equivalent,
+        }
+
+    wl = service_workload((3, 2, 2, 1, 1), max(20, n_jobs))
+    svc = ClusterService(wl.machine_counts(), "directcontr", seed=0)
+    for job in sorted(wl.jobs):
+        svc.submit_job(job)
+        svc.advance(job.release)
+    svc.drain()
+    t0 = time.perf_counter()
+    snap = svc.snapshot()
+    snapshot_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    restored = ClusterService.restore(snap)
+    restore_s = time.perf_counter() - t0
+    if restored.schedule() != svc.schedule():
+        raise SystemExit("restore != live -- refusing to record")
+    return {
+        "bench": "service",
+        "runs": runs,
+        "snapshot": {
+            "journal_ops": len(svc.journal),
+            "snapshot_s": round(snapshot_s, 4),
+            "restore_s": round(restore_s, 4),
+            "restore_verified": True,
+        },
+        **machine_meta(),
+    }
+
+
+# ----------------------------------------------------------------------
+# registry + CLI plumbing
+# ----------------------------------------------------------------------
+#: name -> (measure callable taking the CLI namespace, default output file)
+BENCHES = {
+    "fleet": (
+        lambda args: measure_fleet(quick=args.quick),
+        "BENCH_fleet.json",
+    ),
+    "pipeline": (
+        lambda args: measure_pipeline(
+            workers=args.workers, repeats=args.repeats
+        ),
+        "BENCH_pipeline.json",
+    ),
+    "service": (
+        lambda args: measure_service(n_jobs=args.jobs),
+        "BENCH_service.json",
+    ),
+}
+
+
+def run_bench(name: str, args: argparse.Namespace) -> dict:
+    try:
+        measure, _ = BENCHES[name]
+    except KeyError:  # pragma: no cover - argparse enforces the choices
+        raise ValueError(f"unknown bench {name!r}") from None
+    return measure(args)
+
+
+def main(args: argparse.Namespace) -> int:
+    """``repro bench`` entry point (argparse namespace from the CLI)."""
+    names = list(BENCHES) if args.bench == "all" else [args.bench]
+    exit_code = 0
+    for name in names:
+        payload = run_bench(name, args)
+        out = args.output
+        if out is None or len(names) > 1:
+            out = BENCHES[name][1]
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(json.dumps(payload, indent=2))
+        if name == "fleet" and args.check_against is not None:
+            problems = check_fleet_ratios(
+                payload, args.check_against, args.tolerance
+            )
+            if problems:
+                exit_code = 1
+                for p in problems:
+                    print(f"perf-gate FAIL: {p}")
+            else:
+                print(
+                    "perf-gate OK: "
+                    + ", ".join(
+                        f"{f}={payload[f]}" for f in GATED_RATIOS
+                    )
+                )
+    return exit_code

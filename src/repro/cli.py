@@ -15,6 +15,7 @@ Usage (after ``pip install -e .``, as ``repro`` or ``python -m repro``)::
     repro run NAME [--workers N --cache-dir DIR ...]   # any scenario
     repro replay NAME [--policy P --snapshot-every N]  # online service proof
     repro serve --orgs 2,1 [--policy P]                # JSONL scheduler daemon
+    repro bench [fleet|pipeline|service|all]           # BENCH_*.json recorders
 
 ``run`` executes any registered scenario (``repro scenarios`` lists them)
 through the experiment pipeline: instances fan out over ``--workers``
@@ -23,7 +24,12 @@ recomputing.  ``replay`` streams one scenario instance through the online
 :class:`~repro.service.ClusterService` as timed events, optionally
 kill/restoring from snapshots along the way, and verifies the result is
 bit-identical to the batch scheduler (exit code 1 if not).  ``serve``
-runs the service as a line-oriented JSONL daemon on stdin/stdout.  Every
+runs the service as a line-oriented JSONL daemon on stdin/stdout.
+``bench`` records the benchmark trajectory files (``BENCH_fleet.json``,
+``BENCH_pipeline.json``, ``BENCH_service.json``) from one registry-driven
+recorder (:mod:`repro.bench`); ``bench fleet --quick --check-against
+BENCH_fleet.json`` is the CI perf-gate -- it fails when the batched
+kernel's speedup *ratios* regress below the committed record.  Every
 command prints the paper-layout output used in EXPERIMENTS.md.
 
 Every ``--policy`` flag accepts a registered policy name or a
@@ -184,6 +190,36 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--snapshot-to", default=None, dest="snapshot_to",
                      metavar="FILE",
                      help="write a final snapshot when the loop ends")
+
+    bench = sub.add_parser(
+        "bench",
+        help="record the BENCH_*.json benchmark trajectories "
+             "(fleet kernel speedups, pipeline fan-out, service throughput)",
+    )
+    bench.add_argument(
+        "bench", choices=("fleet", "pipeline", "service", "all"),
+        help="which trajectory to record (all: every registered bench)",
+    )
+    bench.add_argument("--output", default=None,
+                       help="output JSON path (default: the bench's "
+                            "canonical BENCH_*.json; ignored with 'all')")
+    bench.add_argument("--quick", action="store_true",
+                       help="fleet: fewer timing rounds and no k=10 tier "
+                            "(the perf-gate configuration)")
+    bench.add_argument("--check-against", default=None, metavar="FILE",
+                       dest="check_against",
+                       help="fleet: exit 1 when a kernel speedup ratio "
+                            "regresses below this committed record minus "
+                            "--tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.35,
+                       help="relative ratio tolerance for --check-against "
+                            "(default 0.35)")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="pipeline: parallel worker count")
+    bench.add_argument("--repeats", type=int, default=12,
+                       help="pipeline: experiment repeat axis size")
+    bench.add_argument("--jobs", type=int, default=600,
+                       help="service: streamed job count")
     return parser
 
 
@@ -476,6 +512,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_replay(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(args)
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

@@ -19,6 +19,7 @@ from .coalition import (
 from .engine import ClusterEngine, RunningJob
 from .events import EventQueue
 from .fleet import CoalitionFleet
+from .kernel import KERNEL_MIN_ENGINES, FleetKernel, KernelEngineView, kernel_certified
 from .job import Job, merge_jobs, sort_jobs, split_job, validate_jobs
 from .organization import Organization
 from .schedule import Schedule, ScheduledJob
@@ -29,7 +30,11 @@ __all__ = [
     "CoalitionFleet",
     "ClusterEngine",
     "EventQueue",
+    "FleetKernel",
     "Job",
+    "KERNEL_MIN_ENGINES",
+    "KernelEngineView",
+    "kernel_certified",
     "Organization",
     "RunningJob",
     "Schedule",

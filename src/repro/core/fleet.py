@@ -1,4 +1,4 @@
-"""CoalitionFleet: the shared per-coalition value oracle (DESIGN.md §2.4).
+"""CoalitionFleet: the shared per-coalition value oracle (DESIGN.md §2.4, §8).
 
 Every fair scheduler in the paper -- REF (Figs. 1/3), its general-utility
 variant, RAND (Fig. 6) and DIRECTCONTR (Fig. 9) -- needs the same primitive:
@@ -18,6 +18,21 @@ algorithm modules are thin policies:
   event time with a handful of array ops instead of ``2^k`` Python loops of
   ``O(k + #running)`` each.
 
+**Kernel dispatch** (DESIGN.md §8): a fleet of at least
+:data:`~repro.core.kernel.KERNEL_MIN_ENGINES` coalitions over a workload
+whose arithmetic is :func:`~repro.core.kernel.kernel_certified` does not
+build per-coalition engines at all -- the whole family lives in one
+:class:`~repro.core.kernel.FleetKernel` structure-of-arrays simulation, and
+``advance_all`` / ``drive_all`` (FIFO) / ``values_array`` / ``submit`` /
+``start_next`` become a handful of vectorized array passes.  The public API
+is unchanged: :meth:`engine` returns a live
+:class:`~repro.core.kernel.KernelEngineView`, and any operation the arrays
+cannot express (adopting an externally built engine, ``replace_engine``,
+dynamic machine mutation through a view, an unknown drive policy)
+transparently *materializes* real engines -- bit-identical state, same
+schedules -- and continues in per-engine mode.  ``backend="engines"`` or
+``backend="kernel"`` forces either mode.
+
 Dirty tracking: an engine's :attr:`~repro.core.engine.ClusterEngine.version`
 counter bumps only on value-affecting mutations (job starts / completions),
 so a ledger row is re-read only when its coalition processed such an event
@@ -28,7 +43,9 @@ checked when mirrored, and each query bounds the largest possible
 intermediate from running column maxima; if either check trips, the query
 falls back to the engines' exact unbounded-int path
 (:meth:`~repro.core.engine.ClusterEngine.value`), so no scheduling decision
-is ever affected by wraparound.  Property tests verify both paths agree.
+is ever affected by wraparound.  The kernel keeps the same contract with
+its own two-tier guard (construction-time certification plus per-query
+checks).  Property tests verify all paths agree.
 """
 
 from __future__ import annotations
@@ -37,9 +54,11 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from . import kernel as kernel_mod
 from .coalition import iter_members
 from .engine import ClusterEngine
 from .events import EventQueue
+from .kernel import FleetKernel, KernelEngineView, KernelUnsafe, kernel_certified
 from .schedule import ScheduledJob
 from .workload import Workload
 
@@ -76,6 +95,13 @@ class CoalitionFleet:
         job releases (and accept completion pushes).  Pass ``False`` for
         fleets driven by a per-engine loop or used purely as a value
         oracle, where the queue would only accumulate unpopped entries.
+    backend:
+        ``"auto"`` (default) chooses the batched
+        :class:`~repro.core.kernel.FleetKernel` when the construction-time
+        mask count reaches :data:`~repro.core.kernel.KERNEL_MIN_ENGINES`
+        and the workload passes int64 certification; ``"engines"`` /
+        ``"kernel"`` force a mode (the latter still requires
+        certification).
     """
 
     def __init__(
@@ -85,17 +111,21 @@ class CoalitionFleet:
         *,
         horizon: int | None = None,
         track_events: bool = True,
+        backend: str = "auto",
     ) -> None:
+        if backend not in ("auto", "engines", "kernel"):
+            raise ValueError("backend must be 'auto', 'engines' or 'kernel'")
         self.workload = workload
         self.horizon = horizon
         self._track_events = track_events
         self._engines: dict[int, ClusterEngine] = {}
         self._order: list[int] = []
+        self._mask_set: set[int] = set()
         #: shared decision-time queue: job releases of covered orgs, plus
         #: completion times of every start made through the fleet
         self.events = EventQueue()
         self._seeded_orgs: set[int] = set()
-        # ledger columns (int64, grown geometrically)
+        # ledger columns (int64, grown geometrically; per-engine mode only)
         cap = 8
         self._units = np.zeros(cap, np.int64)
         self._wstart = np.zeros(cap, np.int64)
@@ -112,8 +142,81 @@ class CoalitionFleet:
         self._mx_rsq = 0
         #: permanently False once any engine scalar exceeds the int64 cap
         self._int64_ok = True
+        # kernel-backend state
+        self._use_kernel = False
+        self._kernel_obj: FleetKernel | None = None
+        self._kernel_stale = False
+        self._views: dict[int, KernelEngineView] = {}
+        self._constructing = True
         for m in masks:
             self.add_mask(m)
+        self._constructing = False
+        wants_kernel = backend == "kernel" or (
+            backend == "auto"
+            and len(self._order) >= kernel_mod.KERNEL_MIN_ENGINES
+        )
+        if wants_kernel and kernel_certified(workload, horizon):
+            self._use_kernel = True
+            self._kernel_stale = True
+        else:
+            while len(self._seen) < len(self._order):
+                self._grow()
+            for m in self._order:
+                self._engines[m] = ClusterEngine(
+                    workload, list(iter_members(m)), horizon=horizon
+                )
+
+    # ------------------------------------------------------------------
+    # backend plumbing
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> "FleetKernel | None":
+        """The live structure-of-arrays backend, or ``None`` in per-engine
+        mode (built lazily; algorithm fast paths key off this)."""
+        if not self._use_kernel:
+            return None
+        if self._kernel_stale or self._kernel_obj is None:
+            self._kernel_obj = FleetKernel(
+                self.workload,
+                self._order,
+                self.horizon,
+                self.events if self._track_events else None,
+            )
+            self._kernel_stale = False
+        return self._kernel_obj
+
+    def _materialize(self) -> None:
+        """Escape hatch: reconstruct every kernel row as a real, bit-identical
+        :class:`~repro.core.engine.ClusterEngine` and continue per-engine."""
+        if not self._use_kernel:
+            return
+        kern = self._kernel_obj
+        if kern is not None and not self._kernel_stale:
+            for i, m in enumerate(self._order):
+                self._engines[m] = kern.materialize_row(i)
+        else:  # never used: virgin engines are identical to virgin rows
+            for m in self._order:
+                self._engines[m] = ClusterEngine(
+                    self.workload, list(iter_members(m)), horizon=self.horizon
+                )
+        self._use_kernel = False
+        self._kernel_obj = None
+        self._kernel_stale = False
+        # held views become permanent proxies for the engines their masks
+        # resolved to at this moment (object-identity semantics survive a
+        # later replace_engine, like real engine references would)
+        for mask, view in self._views.items():
+            view._bound = self._engines.get(mask)
+        self._views.clear()
+        while len(self._seen) < len(self._order):
+            self._grow()
+        self._seen[: len(self._order)] = -1
+
+    @staticmethod
+    def _kernel_select(select: "SelectFn | None") -> "str | None":
+        """The kernel-native policy tag of a drive callback (``"fifo"`` for
+        the canonical greedy FIFO selectors), or ``None``."""
+        return getattr(select, "kernel_policy", None)
 
     # ------------------------------------------------------------------
     # membership
@@ -124,13 +227,22 @@ class CoalitionFleet:
         return tuple(self._order)
 
     def __contains__(self, mask: int) -> bool:
-        return mask in self._engines
+        return mask in self._mask_set
 
     def __len__(self) -> int:
         return len(self._order)
 
     def engine(self, mask: int) -> ClusterEngine:
-        """The engine simulating coalition ``mask``."""
+        """The engine simulating coalition ``mask`` (a live
+        :class:`~repro.core.kernel.KernelEngineView` under the kernel
+        backend -- same read API, mutations materialize)."""
+        if self._use_kernel:
+            if mask not in self._mask_set:
+                raise KeyError(mask)
+            view = self._views.get(mask)
+            if view is None:
+                view = self._views[mask] = KernelEngineView(self, mask)
+            return view
         return self._engines[mask]
 
     def add_mask(
@@ -145,11 +257,34 @@ class CoalitionFleet:
         which the fleet's frozen ``workload`` cannot describe) instead of
         simulating ``mask`` over ``self.workload`` from time zero.
         """
-        if mask in self._engines:
-            return self._engines[mask]
+        if isinstance(engine, KernelEngineView):
+            engine = engine._escape()  # adopt the underlying real engine
+        if mask in self._mask_set:
+            return self.engine(mask)
         if mask <= 0:
             raise ValueError("coalition mask must be a nonzero bitmask")
         members = list(iter_members(mask))
+        if self._constructing:
+            # engine construction is deferred until the backend is chosen
+            # at the end of __init__ (the kernel backend never builds them)
+            if engine is not None:
+                raise ValueError(
+                    "cannot adopt an external engine at construction"
+                )
+            self._order.append(mask)
+            self._mask_set.add(mask)
+            self._seed_releases(members)
+            return None  # unused during construction
+        if self._use_kernel:
+            kern = self._kernel_obj
+            if engine is None and (kern is None or not kern._used):
+                # pristine kernel: absorb the mask by (lazily) rebuilding
+                self._order.append(mask)
+                self._mask_set.add(mask)
+                self._kernel_stale = True
+                self._seed_releases(members)
+                return self.engine(mask)
+            self._materialize()
         eng = (
             engine
             if engine is not None
@@ -160,15 +295,20 @@ class CoalitionFleet:
             self._grow()
         self._engines[mask] = eng
         self._order.append(mask)
-        if self._track_events:
-            new_orgs = [u for u in members if u not in self._seeded_orgs]
-            if new_orgs:
-                self._seeded_orgs.update(new_orgs)
-                new_set = set(new_orgs)
-                for j in self.workload.jobs:
-                    if j.org in new_set:
-                        self.events.push(j.release)
+        self._mask_set.add(mask)
+        self._seed_releases(members)
         return eng
+
+    def _seed_releases(self, members: "list[int]") -> None:
+        if not self._track_events:
+            return
+        new_orgs = [u for u in members if u not in self._seeded_orgs]
+        if new_orgs:
+            self._seeded_orgs.update(new_orgs)
+            new_set = set(new_orgs)
+            for j in self.workload.jobs:
+                if j.org in new_set:
+                    self.events.push(j.release)
 
     def remove_mask(self, mask: int) -> ClusterEngine:
         """Deregister a coalition and return its (still valid) engine.
@@ -178,9 +318,11 @@ class CoalitionFleet:
         lockstep with :attr:`masks`, so dirty tracking stays aligned; the
         running column maxima stay (conservatively) as they are.
         """
-        if mask not in self._engines:
+        if mask not in self._mask_set:
             raise KeyError(f"mask {mask} is not registered")
+        self._materialize()
         eng = self._engines.pop(mask)
+        self._mask_set.discard(mask)
         i = self._order.index(mask)
         self._order.pop(i)
         n = len(self._order)
@@ -198,8 +340,11 @@ class CoalitionFleet:
         while a deep copy continues the old mask's counterfactual.  The
         ledger row is marked dirty so the next query re-mirrors it.
         """
-        if mask not in self._engines:
+        if mask not in self._mask_set:
             raise KeyError(f"mask {mask} is not registered")
+        if isinstance(engine, KernelEngineView):
+            engine = engine._escape()
+        self._materialize()
         self._engines[mask] = engine
         self._seen[self._order.index(mask)] = -1
 
@@ -207,14 +352,20 @@ class CoalitionFleet:
         """Feed one job to every registered engine covering its owner and
         push its release into the shared decision queue (online ingestion;
         the batch path instead freezes streams at construction)."""
-        hit = False
         bit = 1 << job.org
-        for mask in self._order:
-            if mask & bit:
-                self._engines[mask].submit(job)
-                hit = True
-        if not hit:
+        if not any(mask & bit for mask in self._order):
             raise ValueError(f"no registered coalition covers org {job.org}")
+        if self._use_kernel:
+            try:
+                kern = self.kernel
+                assert kern is not None
+                kern.submit(job)
+            except KernelUnsafe:
+                self._materialize()
+        if not self._use_kernel:
+            for mask in self._order:
+                if mask & bit:
+                    self._engines[mask].submit(job)
         if self._track_events:
             self.events.push(job.release)
 
@@ -265,11 +416,19 @@ class CoalitionFleet:
         greedy invariant guarantees they have no free-machine/waiting-job
         pair to act on).
         """
+        if self._use_kernel:
+            kern = self.kernel
+            assert kern is not None
+            if t >= kern.t:
+                kern.advance(t)
+            return
         self._sync(t, None)
 
     def drive(self, mask: int, select: SelectFn, until: int) -> None:
         """Drive one engine's own greedy event loop to ``until`` (events at
         ``until`` included), then align its clock with ``until``."""
+        if self._use_kernel:
+            self._materialize()
         eng = self._engines[mask]
         eng.drive(select, until=until)
         if eng.t < until:
@@ -278,6 +437,14 @@ class CoalitionFleet:
     def drive_all(self, select: SelectFn, until: int) -> None:
         """Drive every engine's own greedy loop to ``until`` (RAND's lazily
         tracked sampled coalitions), then align clocks with ``until``."""
+        if self._use_kernel:
+            if self._kernel_select(select) == "fifo":
+                kern = self.kernel
+                assert kern is not None
+                if until >= kern.t:
+                    kern.drive_fifo(until)
+                return
+            self._materialize()
         self._sync(until, select)
 
     def _sync(self, t: int, select: SelectFn | None) -> list[int]:
@@ -313,10 +480,25 @@ class CoalitionFleet:
         """Start ``org``'s FIFO-head job on coalition ``mask``'s cluster and
         push the completion time into the shared event queue (when event
         tracking is on)."""
-        entry = self._engines[mask].start_next(org, machine=machine)
+        if self._use_kernel:
+            kern = self.kernel
+            assert kern is not None
+            entry = kern.start_row(kern._row[mask], org, machine)
+        else:
+            entry = self._engines[mask].start_next(org, machine=machine)
         if self._track_events:
             self.events.push(entry.end)
         return entry
+
+    def fill_rows(self, rows: np.ndarray, keys: np.ndarray, t: int) -> None:
+        """Kernel fast path for :func:`repro.algorithms.base.fill_capacity`
+        over many coalitions at once: batched greedy rounds starting the
+        ``argmax(keys)`` organization's FIFO-head job on every still-capable
+        row (ties: lowest org id).  Kernel backend only."""
+        kern = self.kernel
+        if kern is None:
+            raise RuntimeError("fill_rows requires the kernel backend")
+        kern.fill_rows(rows, keys, t)
 
     # ------------------------------------------------------------------
     # batched coalition values
@@ -369,6 +551,24 @@ class CoalitionFleet:
         )
         return bound < _QUERY_CAP
 
+    def _kernel_sync(
+        self, t: int, select: "SelectFn | None"
+    ) -> "FleetKernel | None":
+        """Bring the kernel to ``t`` for a value query; returns the kernel,
+        or ``None`` after materializing on an unknown drive policy."""
+        kern = self.kernel
+        assert kern is not None
+        if select is None:
+            if t >= kern.t:
+                kern.advance(t)
+        elif self._kernel_select(select) == "fifo":
+            if t >= kern.t:
+                kern.drive_fifo(t)
+        else:
+            self._materialize()
+            return None
+        return kern
+
     def values_array(
         self, t: int, *, select: SelectFn | None = None
     ) -> "np.ndarray | None":
@@ -383,6 +583,13 @@ class CoalitionFleet:
         at ``t``; engines already *past* ``t`` (retrospective queries) are
         valued exactly from their start logs instead.
         """
+        if self._use_kernel:
+            kern = self._kernel_sync(t, select)
+            if kern is not None:
+                if t < kern.t:
+                    return kern.values_retro(t)
+                return kern.values_i64(t)
+            # fall through: materialized on an unknown policy
         ahead = self._sync(t, select)
         if not self._int64_ok:  # permanent exact mode: skip the dead mirror
             return None
@@ -419,6 +626,13 @@ class CoalitionFleet:
         if arr is not None:
             values.update(zip(self._order, arr.tolist()))
             return values
+        if self._use_kernel:
+            # kernel guard tripped at t >= kernel.t: exact Python-int formula
+            # over the (certified exact) int64 ledgers
+            kern = self._kernel_obj
+            assert kern is not None
+            values.update(zip(self._order, kern.values_exact(t)))
+            return values
         # exact fallback: unbounded Python ints via each engine
         for mask in self._order:
             values[mask] = self._engines[mask].value(t)
@@ -431,11 +645,22 @@ class CoalitionFleet:
         path, skipping the numpy ledger entirely.  With the engines' O(1)
         value formula this wins for small fleets (few dozen coalitions),
         where per-query array overhead exceeds the loop it replaces."""
+        if self._use_kernel:
+            kern = self._kernel_sync(t, select)
+            if kern is not None:
+                values: dict[int, int] = {0: 0}
+                if t < kern.t:
+                    values.update(
+                        zip(self._order, kern.values_retro(t).tolist())
+                    )
+                else:
+                    values.update(zip(self._order, kern.values_exact(t)))
+                return values
         if select is not None:
             self.drive_all(select, t)
         else:
             self.advance_all(t)
-        values: dict[int, int] = {0: 0}
+        values = {0: 0}
         for mask in self._order:
             values[mask] = self._engines[mask].value(t)
         return values

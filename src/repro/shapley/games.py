@@ -63,6 +63,11 @@ def _fifo_select(engine: ClusterEngine) -> int:
     return min(waiting, key=lambda u: (engine.head_release(u), u))
 
 
+# the batched FleetKernel understands this selector natively, so large
+# values_for() batches advance in one vectorized lockstep sweep
+_fifo_select.kernel_policy = "fifo"
+
+
 class SchedulingGame:
     """The scheduling cooperative game: ``v(mask) = v(C, t)``.
 

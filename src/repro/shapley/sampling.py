@@ -103,6 +103,41 @@ class SampledPrefixes:
             tuple(p) for p in pairs
         )
         self.masks: frozenset[int] = frozenset(masks)
+        self._coef_cache: "tuple[tuple[int, ...], np.ndarray, int] | None" = None
+
+    def _coefficients(
+        self, order: "tuple[int, ...]"
+    ) -> "tuple[np.ndarray, int]":
+        """``(k, len(order))`` int64 coefficient matrix ``M`` with
+        ``M @ values == estimate_scaled`` for a value vector aligned with
+        ``order``, plus the max absolute row sum (the overflow guard
+        weight).  Cached per coalition order."""
+        cached = self._coef_cache
+        if cached is not None and cached[0] == order:
+            return cached[1], cached[2]
+        index = {m: i for i, m in enumerate(order)}
+        coef = np.zeros((self.k, len(order)), dtype=np.int64)
+        for u in range(self.k):
+            for pred, with_u in self.pairs[u]:
+                coef[u, index[with_u]] += 1
+                if pred:
+                    coef[u, index[pred]] -= 1
+        weight = int(np.abs(coef).sum(axis=1).max()) if coef.size else 0
+        self._coef_cache = (order, coef, weight)
+        return coef, weight
+
+    def estimate_scaled_array(
+        self, order: "tuple[int, ...]", values: np.ndarray, max_abs_value: int
+    ) -> "list[int] | None":
+        """:meth:`estimate_scaled` as one int64 matrix-vector product over a
+        dense value vector aligned with ``order`` (every mask in
+        :attr:`masks` except 0 must appear).  Returns ``None`` when the
+        int64 guard cannot certify the product -- fall back to the exact
+        big-int :meth:`estimate_scaled`."""
+        coef, weight = self._coefficients(order)
+        if max_abs_value < 0 or weight * max_abs_value >= 1 << 62:
+            return None
+        return (coef @ values).tolist()
 
     def estimate_scaled(self, values: Mapping[int, int]) -> list[int]:
         """Sum of sampled marginal contributions per player (= N * phi-hat).

@@ -85,6 +85,7 @@ class ScaledShapleySolver:
         self._index = dict(index)
         self._plans: dict[int, _Plan] = {}
         self._batch_plans: dict[tuple[int, ...], tuple] = {}
+        self._matrix_plans: dict[tuple[int, ...], tuple] = {}
 
     def phi_scaled(
         self, mask: int, values: np.ndarray, max_abs_value: int
@@ -144,3 +145,46 @@ class ScaledShapleySolver:
             m: dict(zip(mem, row))
             for m, mem, row in zip(masks, members, phi.tolist())
         }
+
+    def phi_scaled_matrix(
+        self,
+        masks: "tuple[int, ...]",
+        values: np.ndarray,
+        max_abs_value: int,
+        n_orgs: int,
+    ) -> "tuple[np.ndarray, int] | None":
+        """Like :meth:`phi_scaled_batch` but returning a dense
+        ``(len(masks), n_orgs)`` int64 matrix (zero for non-members) plus a
+        certified bound on ``|phi|`` -- the layout the batched
+        :class:`~repro.core.kernel.FleetKernel` scheduling rounds consume.
+        Returns ``None`` when the int64 guard cannot certify the products
+        (the caller falls back to exact big-int ``update_vals_scaled``).
+        """
+        plan = self._matrix_plans.get(masks)
+        if plan is None:
+            sizes = {m.bit_count() for m in masks}
+            if len(sizes) != 1:
+                raise ValueError("batched masks must share a size")
+            singles = []
+            for m in masks:
+                p = self._plans.get(m)
+                if p is None:
+                    p = self._plans[m] = _Plan(m, self._index)
+                singles.append(p)
+            cols = np.array(
+                [p.members for p in singles], dtype=np.intp
+            )  # (n, s): org column of each phi slot
+            plan = (
+                np.stack([p.coef for p in singles]),  # (n, s, 2^s - 1)
+                np.stack([p.rows for p in singles]),  # (n, 2^s - 1)
+                cols,
+                max(p.row_weight for p in singles),
+            )
+            self._matrix_plans[masks] = plan
+        coef, rows, cols, row_weight = plan
+        if max_abs_value < 0 or row_weight * max_abs_value >= _INT64_CAP:
+            return None
+        phi = np.matmul(coef, values[rows][:, :, None])[:, :, 0]
+        full = np.zeros((len(masks), n_orgs), dtype=np.int64)
+        full[np.arange(len(masks))[:, None], cols] = phi
+        return full, row_weight * max_abs_value

@@ -1,0 +1,500 @@
+"""FleetKernel: lockstep SoA simulation vs per-engine ground truth.
+
+Four layers of protection for the batched kernel (DESIGN.md §8):
+
+* **value-oracle properties** -- kernel fleets return exactly the
+  per-engine values on random workloads, for both the lockstep advance and
+  the batched greedy-FIFO drive, at past/present/future query times;
+* **bit-identical schedules** -- every contribution-driven scheduler run
+  with the kernel forced on reproduces its per-engine transcript job for
+  job (the golden transcripts pin the per-engine side separately);
+* **escape hatch** -- engine views answer the whole read API, and
+  materialization mid-run reconstructs real engines whose state is
+  indistinguishable from never having used the kernel at all;
+* **overflow fallbacks** (ISSUE 5 satellite) -- queries past the int64
+  guard fall back to exact big-int arithmetic on both backends, agreeing
+  with the vectorized path right at the boundary, and workloads that fail
+  the construction-time certification never engage the kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import members_mask
+from repro.algorithms.direct import DirectContributionScheduler
+from repro.algorithms.greedy import fifo_select
+from repro.algorithms.rand import RandScheduler
+from repro.algorithms.ref import GeneralRefScheduler, RefScheduler
+from repro.core import kernel as kernel_mod
+from repro.core.coalition import iter_members, iter_subsets
+from repro.core.engine import ClusterEngine
+from repro.core.fleet import CoalitionFleet
+from repro.core.kernel import (
+    KERNEL_MIN_ENGINES,
+    FleetKernel,
+    KernelEngineView,
+    kernel_certified,
+)
+
+from .conftest import make_workload, random_workload
+
+
+def all_masks(k: int) -> list[int]:
+    return [m for m in iter_subsets((1 << k) - 1) if m]
+
+
+def transcript(result) -> list:
+    return [
+        (e.start, e.machine, e.job.org, e.job.index, e.job.size)
+        for e in result.schedule
+    ]
+
+
+def reference_values(workload, masks, t, horizon, drive=True):
+    out = {0: 0}
+    for m in masks:
+        eng = ClusterEngine(workload, list(iter_members(m)), horizon=horizon)
+        if drive:
+            eng.drive(fifo_select, until=t)
+        else:
+            while (
+                nxt := eng.next_event_time()
+            ) is not None and nxt <= t:
+                eng.advance_to(nxt)
+        if eng.t < t:
+            eng.advance_to(t)
+        out[m] = sum(eng.psis(t))
+    return out
+
+
+@pytest.fixture
+def force_kernel(monkeypatch):
+    monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 1)
+
+
+class TestKernelValueOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fifo_drive_values_match_per_engine(self, seed):
+        rng = np.random.default_rng(seed)
+        k = 3 + seed % 2
+        wl = random_workload(rng, n_orgs=k, n_jobs=25, max_release=15)
+        masks = all_masks(k)
+        horizon = 40
+        fleet = CoalitionFleet(wl, masks, horizon=horizon, backend="kernel")
+        assert fleet.kernel is not None
+        for t in (0, 3, 8, 15, 27, 39):
+            got = fleet.values_at(t, select=fifo_select)
+            assert got == reference_values(wl, masks, t, horizon), t
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lockstep_advance_values_match_per_engine(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        wl = random_workload(rng, n_orgs=3, n_jobs=20, max_release=12)
+        masks = all_masks(3)
+        a = CoalitionFleet(wl, masks, backend="kernel")
+        b = CoalitionFleet(wl, masks, backend="engines")
+        for t in (0, 2, 6, 11, 19, 40):
+            assert a.values_at(t) == b.values_at(t), t
+            arr_a = a.values_array(t)
+            arr_b = b.values_array(t)
+            assert arr_a is not None and arr_b is not None
+            assert arr_a.tolist() == arr_b.tolist()
+
+    def test_retrospective_query_is_exact(self, rng):
+        wl = random_workload(rng, n_orgs=2, n_jobs=10, max_release=5)
+        fleet = CoalitionFleet(wl, all_masks(2), backend="kernel")
+        fleet.values_at(20, select=fifo_select)  # kernel now at t=20
+        early = fleet.values_at(7, select=fifo_select)
+        assert early == reference_values(wl, all_masks(2), 7, None)
+
+    def test_online_submission_matches_frozen_stream(self):
+        early = [(0, 0, 2), (1, 1, 3), (4, 2, 1), (5, 0, 2)]
+        late = [(11, 0, 3), (12, 1, 2), (15, 2, 4), (15, 1, 1)]
+        wl_early = make_workload([1, 2, 1], early)
+        wl_full = make_workload([1, 2, 1], early + late)
+        late_jobs = [
+            j for j in sorted(wl_full.jobs) if (j.release, j.org, j.size)
+            in {(r, u, p) for r, u, p in late}
+        ]
+        masks = all_masks(3)
+        frozen = CoalitionFleet(wl_full, masks, backend="kernel")
+        fed = CoalitionFleet(wl_early, masks, backend="kernel")
+        fed.values_at(5, select=fifo_select)
+        for j in late_jobs:
+            fed.submit(j)
+        assert fed.kernel is not None  # absorbed without materializing
+        for t in (10, 25, 60):
+            assert fed.values_at(t, select=fifo_select) == frozen.values_at(
+                t, select=fifo_select
+            )
+
+
+class TestKernelSchedulesBitIdentical:
+    """Forced-kernel transcripts == forced-engines transcripts (the engines
+    side is itself pinned by the seed golden transcripts)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ref_and_rand(self, seed, monkeypatch):
+        rng = np.random.default_rng(seed)
+        k = 3 + seed % 3
+        wl = random_workload(
+            rng, n_orgs=k, n_jobs=7 * k, max_release=15,
+            sizes=(1, 2, 3, 5), machine_counts=[1 + i % 2 for i in range(k)],
+        )
+        runs = [
+            lambda: RefScheduler().run(wl),
+            lambda: RefScheduler(horizon=12).run(wl),
+            lambda: RandScheduler(n_orderings=9, seed=seed).run(wl),
+        ]
+        if k <= 4:  # Fractions path: keep runtime sane
+            runs.append(lambda: GeneralRefScheduler().run(wl))
+        for run in runs:
+            monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 1 << 30)
+            want = transcript(run())
+            monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 1)
+            assert transcript(run()) == want
+
+    def test_ref_contributions_identical(self, monkeypatch):
+        rng = np.random.default_rng(17)
+        wl = random_workload(rng, n_orgs=5, n_jobs=25, max_release=12)
+        monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 1 << 30)
+        want = RefScheduler(collect_contributions=True).run(wl).meta
+        monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 1)
+        got = RefScheduler(collect_contributions=True).run(wl).meta
+        assert got["contributions"] == want["contributions"]
+
+    def test_direct_contr_unaffected(self, force_kernel, rng):
+        # single-engine fleets materialize through the PolicyScheduler loop
+        wl = random_workload(rng, n_orgs=3, n_jobs=15, max_release=10)
+        r = DirectContributionScheduler(seed=1).run(wl)
+        assert len(r.schedule) == 15
+
+
+class TestEngineViews:
+    def _pair(self, rng, t):
+        wl = random_workload(rng, n_orgs=3, n_jobs=16, max_release=10,
+                             machine_counts=[2, 1, 1])
+        masks = all_masks(3)
+        kf = CoalitionFleet(wl, masks, backend="kernel")
+        ef = CoalitionFleet(wl, masks, backend="engines")
+        kf.values_at(t, select=fifo_select)
+        ef.values_at(t, select=fifo_select)
+        return kf, ef, masks
+
+    def test_views_answer_the_read_api(self, rng):
+        kf, ef, masks = self._pair(rng, 9)
+        for m in masks:
+            view, eng = kf.engine(m), ef.engine(m)
+            assert isinstance(view, KernelEngineView)
+            assert view.t == eng.t
+            assert view.members == eng.members
+            assert view.free_count == eng.free_count
+            assert view.free_machines() == eng.free_machines()
+            assert view.has_waiting() == eng.has_waiting()
+            assert view.waiting_orgs() == eng.waiting_orgs()
+            assert view.machine_owner == eng.machine_owner
+            assert view.n_machines == eng.n_machines
+            assert view.machine_counts() == eng.machine_counts()
+            assert view.running_counts() == eng.running_counts()
+            assert view.is_idle() == eng.is_idle()
+            assert view.done() == eng.done()
+            assert view.ledger() == eng.ledger()
+            assert view.next_event_time() == eng.next_event_time()
+            for t in (4, 9, 30):
+                assert view.psis(t) == eng.psis(t), (m, t)
+                assert view.value(t) == eng.value(t)
+                assert view.psis_by_machine_owner(t) == (
+                    eng.psis_by_machine_owner(t)
+                )
+                assert view.busy_units(t) == eng.busy_units(t)
+                assert view.utilization(t) == eng.utilization(t)
+                assert view.has_event_at_or_before(t) == (
+                    eng.has_event_at_or_before(t)
+                )
+            for u in eng.members:
+                assert view.waiting_count(u) == eng.waiting_count(u)
+                assert view.running_count(u) == eng.running_count(u)
+                assert view.consumed_cpu(u) == eng.consumed_cpu(u)
+            assert view.schedule() == eng.schedule()
+            assert [
+                (e.start, e.machine, e.job) for e in view.completed_log
+            ] == [(e.start, e.machine, e.job) for e in eng.completed_log]
+
+    def test_view_running_on_matches(self, rng):
+        kf, ef, masks = self._pair(rng, 6)
+        grand = masks[-1] if masks[-1] == 0b111 else 0b111
+        view, eng = kf.engine(grand), ef.engine(grand)
+        for mid in eng.machine_owner:
+            a, b = view.running_on(mid), eng.running_on(mid)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.job, a.start, a.machine) == (b.job, b.start, b.machine)
+
+
+class TestMaterialization:
+    def test_materialized_state_is_bit_identical(self, rng):
+        wl = random_workload(rng, n_orgs=3, n_jobs=20, max_release=14)
+        masks = all_masks(3)
+        kf = CoalitionFleet(wl, masks, backend="kernel")
+        ef = CoalitionFleet(wl, masks, backend="engines")
+        kf.values_at(8, select=fifo_select)
+        ef.values_at(8, select=fifo_select)
+        kf._materialize()
+        assert kf.kernel is None
+        for m in masks:
+            a, b = kf.engine(m), ef.engine(m)
+            assert isinstance(a, ClusterEngine)
+            assert a.t == b.t
+            assert a._stream == b._stream
+            assert a._stream_pos == b._stream_pos
+            assert a._pending == b._pending
+            assert a._free_set == b._free_set
+            assert sorted(a._busy) == sorted(b._busy)
+            assert a._done_units == b._done_units
+            assert a._done_wstart == b._done_wstart
+            assert a._done_units_mach == b._done_units_mach
+            assert a._done_wstart_mach == b._done_wstart_mach
+            assert (a._tot_units, a._tot_wstart) == (b._tot_units, b._tot_wstart)
+            assert (a._run_start_sum, a._run_start_sq) == (
+                b._run_start_sum, b._run_start_sq
+            )
+            assert a._log == b._log
+            assert a._completed == b._completed
+        # and the fleets keep agreeing after further driving
+        for t in (12, 20, 50):
+            assert kf.values_at(t, select=fifo_select) == ef.values_at(
+                t, select=fifo_select
+            )
+
+    def test_held_view_survives_materialization(self, rng):
+        wl = random_workload(rng, n_orgs=2, n_jobs=10, max_release=6)
+        fleet = CoalitionFleet(wl, all_masks(2), backend="kernel")
+        view = fleet.engine(0b11)
+        fleet.values_at(4, select=fifo_select)
+        psis_before = view.psis(4)
+        fleet._materialize()
+        assert view.psis(4) == psis_before
+        assert view._real() is fleet.engine(0b11)
+
+    def test_view_mutators_materialize_and_delegate(self, rng):
+        wl = random_workload(rng, n_orgs=2, n_jobs=8, max_release=5)
+        fleet = CoalitionFleet(wl, all_masks(2), backend="kernel")
+        fleet.values_at(3, select=fifo_select)
+        view = fleet.engine(0b11)
+        clone = view.fork()  # escapes
+        assert isinstance(clone, ClusterEngine)
+        assert fleet.kernel is None
+        assert clone.t == fleet.engine(0b11).t
+
+    def test_unknown_drive_policy_materializes(self, rng):
+        wl = random_workload(rng, n_orgs=2, n_jobs=8, max_release=5)
+        fleet = CoalitionFleet(wl, all_masks(2), backend="kernel")
+
+        def lifo(engine):  # no kernel_policy tag
+            return max(engine.waiting_orgs())
+
+        vals = fleet.values_at(9, select=lifo)
+        assert fleet.kernel is None  # escaped, still correct
+        out = {0: 0}
+        for m in all_masks(2):
+            eng = ClusterEngine(wl, list(iter_members(m)))
+            eng.drive(lifo, until=9)
+            if eng.t < 9:
+                eng.advance_to(9)
+            out[m] = sum(eng.psis(9))
+        assert vals == out
+
+    def test_add_mask_pristine_extends_remove_materializes(self, rng):
+        wl = random_workload(rng, n_orgs=3, n_jobs=9, max_release=5)
+        fleet = CoalitionFleet(wl, all_masks(3)[:5], backend="kernel")
+        fleet.add_mask(0b111)  # pristine: kernel absorbs the new mask
+        assert fleet.kernel is not None and 0b111 in fleet
+        fleet.values_at(4, select=fifo_select)
+        eng = fleet.remove_mask(0b111)  # materializes, returns a real engine
+        assert isinstance(eng, ClusterEngine)
+        assert fleet.kernel is None and 0b111 not in fleet
+
+
+class TestDispatchAndCertification:
+    def test_auto_threshold(self, rng, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 8)
+        wl = random_workload(rng, n_orgs=3, n_jobs=9, max_release=5)
+        small = CoalitionFleet(wl, all_masks(3))
+        assert small.kernel is None  # 7 masks < threshold of 8
+        assert KERNEL_MIN_ENGINES <= 63, "REF k>=6 should dispatch"
+
+    def test_auto_engages_above_threshold(self, rng, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 4)
+        wl = random_workload(rng, n_orgs=3, n_jobs=9, max_release=5)
+        fleet = CoalitionFleet(wl, all_masks(3))
+        assert fleet.kernel is not None
+
+    def test_uncertified_workload_refuses_kernel(self):
+        big = 1 << 32
+        wl = make_workload(
+            [1, 1], [(0, 0, big), (big, 0, big), (0, 1, 2 * big)]
+        )
+        assert not kernel_certified(wl, None)
+        fleet = CoalitionFleet(wl, all_masks(2), backend="kernel")
+        assert fleet.kernel is None  # falls back to exact engines
+        t = 3 * big
+        got = fleet.values_at(t, select=fifo_select)
+        assert got == reference_values(wl, all_masks(2), t, None)
+
+    def test_unsafe_submit_materializes_transparently(self, rng):
+        wl = random_workload(rng, n_orgs=2, n_jobs=8, max_release=5)
+        fleet = CoalitionFleet(wl, all_masks(2), backend="kernel")
+        fleet.values_at(3, select=fifo_select)
+        from repro.core.job import Job
+
+        huge = Job(release=5, org=0, index=99, size=(1 << 33))
+        fleet.submit(huge)  # certification would break: engines take over
+        assert fleet.kernel is None
+        assert any(
+            j is huge or j == huge
+            for j in fleet.engine(0b01)._stream
+        )
+
+
+class TestOverflowFallback:
+    """ISSUE 5 satellite: force the ledger past the _vector_safe guard and
+    pin values_exact == vectorized at the boundary, on both backends."""
+
+    #: far past any guard: t*t + t alone exceeds 1 << 62
+    T_UNSAFE = 1 << 31
+
+    def _workload(self):
+        return make_workload(
+            [1, 1],
+            [(0, 0, 3), (1, 0, 2), (0, 1, 4), (5, 1, 1)],
+        )
+
+    def _reference(self, wl, t):
+        return reference_values(wl, all_masks(2), t, None)
+
+    @staticmethod
+    def _guard_boundary(fleet) -> int:
+        """Largest t (by bisection) where the vectorized query still runs --
+        the exact trip point depends on the historical ledger maxima."""
+        lo, hi = 0, 1 << 32
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if fleet.values_array(mid) is not None:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    @pytest.mark.parametrize("backend", ["engines", "kernel"])
+    def test_boundary_agreement_and_fallback(self, backend):
+        wl = self._workload()
+        fleet = CoalitionFleet(wl, all_masks(2), backend=backend)
+        if backend == "kernel":
+            assert fleet.kernel is not None
+        fleet.values_at(20, select=fifo_select)  # run to completion
+        t_safe = self._guard_boundary(fleet)
+        assert 20 < t_safe < self.T_UNSAFE
+        # at the boundary: vectorized and exact agree bit for bit
+        arr = fleet.values_array(t_safe)
+        assert arr is not None
+        exact = fleet.values_exact(t_safe)
+        assert dict(zip(fleet.masks, arr.tolist())) == {
+            m: exact[m] for m in fleet.masks
+        }
+        assert exact == self._reference(wl, t_safe)
+        # one past the boundary: the vectorized query refuses, values_at
+        # falls back to exact unbounded-int arithmetic
+        assert fleet.values_array(t_safe + 1) is None
+        got = fleet.values_at(t_safe + 1)
+        assert got == self._reference(wl, t_safe + 1)
+        assert fleet.values_array(self.T_UNSAFE) is None
+        assert fleet.values_at(self.T_UNSAFE) == self._reference(
+            wl, self.T_UNSAFE
+        )
+
+    def test_kernel_exact_values_after_guard_trip(self):
+        """The kernel's int64 ledgers stay exact (certified), so its exact
+        fallback agrees with per-engine big-int arithmetic at any t."""
+        wl = self._workload()
+        kf = CoalitionFleet(wl, all_masks(2), backend="kernel")
+        ef = CoalitionFleet(wl, all_masks(2), backend="engines")
+        for t in (7, 20):
+            kf.values_at(t, select=fifo_select)
+            ef.values_at(t, select=fifo_select)
+        for t in (1 << 20, self.T_UNSAFE, (1 << 40) + 7):
+            assert kf.values_at(t) == ef.values_at(t), t
+
+    def test_ref_survives_far_future_contribution_query(self, force_kernel):
+        """REF's kernel body falls back to the exact path when a horizon far
+        beyond int64 range trips the per-query guard mid-run."""
+        far = 4_000_000_000  # t^2 overflows int64, t itself does not
+        wl = make_workload([1, 1, 1, 1, 1], [(far, u, 1) for u in range(5)])
+        fleet = CoalitionFleet(wl, all_masks(5))
+        assert fleet.kernel is None  # certification rejects the far release
+        result = RefScheduler().run(wl)
+        assert len(result.schedule) == 5
+
+
+class TestReplayEquivalenceWithKernel:
+    """ISSUE 5 acceptance: online replay == batch stays bit-identical for
+    every step-capable fleet policy with the kernel active on the batch
+    side (and on the service's genesis fleets where it engages)."""
+
+    @pytest.mark.parametrize("policy", ["ref", "rand", "directcontr"])
+    def test_replay_equals_batch(self, policy, force_kernel, rng):
+        from repro.service import ReplayDriver
+
+        wl = random_workload(
+            rng, n_orgs=3, n_jobs=14, max_release=12,
+            machine_counts=[2, 1, 1],
+        )
+        report = ReplayDriver(wl, policy, seed=0).run()
+        assert report.equivalent
+
+    def test_replay_with_kill_restore(self, force_kernel, rng):
+        from repro.service import ReplayDriver
+
+        wl = random_workload(rng, n_orgs=3, n_jobs=12, max_release=10)
+        report = ReplayDriver(wl, "ref", seed=0, snapshot_every=3).run()
+        assert report.equivalent
+
+
+class TestKernelInternals:
+    def test_materializes_equal_backends_after_horizon_cut(self, rng):
+        wl = random_workload(rng, n_orgs=3, n_jobs=15, max_release=20)
+        masks = all_masks(3)
+        kf = CoalitionFleet(wl, masks, horizon=10, backend="kernel")
+        ef = CoalitionFleet(wl, masks, horizon=10, backend="engines")
+        for t in (4, 9, 15):
+            assert kf.values_at(t, select=fifo_select) == ef.values_at(
+                t, select=fifo_select
+            ), t
+
+    def test_start_next_via_fleet_kernel(self, rng):
+        wl = make_workload([1, 1], [(0, 0, 2), (0, 1, 3)])
+        fleet = CoalitionFleet(wl, all_masks(2), backend="kernel")
+        fleet.advance_all(0)
+        entry = fleet.start_next(0b11, 1)
+        assert (entry.start, entry.job.org) == (0, 1)
+        with pytest.raises(ValueError):
+            fleet.start_next(0b11, 1)  # no second waiting job for org 1
+        entry2 = fleet.start_next(0b11, 0)
+        assert entry2.machine != entry.machine
+        with pytest.raises(ValueError):
+            fleet.start_next(0b01, 0, machine=99)
+
+    def test_kernel_certified_bound(self):
+        wl = make_workload([1], [(0, 0, 1)])
+        assert kernel_certified(wl, None)
+        assert not kernel_certified(wl, 1 << 40)
+
+    def test_fleet_kernel_direct_event_api(self):
+        wl = make_workload([1, 1], [(0, 0, 2), (4, 1, 1)])
+        kern = FleetKernel(wl, [0b01, 0b10, 0b11])
+        assert kern.next_event_time() == 0
+        assert kern.has_event_at_or_before(0)
+        kern.drive_fifo(10)
+        assert kern.t == 10
+        assert kern.next_event_time() is None
