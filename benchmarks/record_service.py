@@ -32,6 +32,9 @@ def main() -> int:
         ),
     )
     parser.add_argument("--jobs", type=int, default=600)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check-against", dest="check_against", default=None)
+    parser.add_argument("--tolerance", type=float, default=0.35)
     args = parser.parse_args()
     args.bench = "service"
     return bench_main(args)

@@ -290,11 +290,95 @@ class RefRun:
         self._kernel_rows_cache = (kern, groups)
         return groups
 
+    def _kernel_plan(self, kern):
+        """The fused per-event plan over *all* size groups (cached per
+        kernel object): each group's stacked ``UpdateVals`` coefficients,
+        value-row gather, kernel row indices and phi scatter columns, plus
+        the per-row ``|C|!`` column and the global overflow weights."""
+        cached = getattr(self, "_kernel_plan_cache", None)
+        if cached is not None and cached[0] is kern:
+            return cached[1]
+        groups = []
+        facts = np.zeros((kern.n, 1), dtype=np.int64)
+        max_rw = 0
+        max_fact = 1
+        for _, _, group in self._group_rows:
+            coef, vrows, cols, rw = self.solver.matrix_plan(group)
+            krows = np.array([kern._row[m] for m in group], dtype=np.intp)
+            fact = factorial(popcount(group[0]))
+            facts[krows, 0] = fact
+            groups.append((coef, vrows, krows, cols))
+            max_rw = max(max_rw, rw)
+            max_fact = max(max_fact, fact)
+        plan = (
+            groups,
+            facts,
+            max_rw,
+            max_fact,
+            kern._row.get(self.grand_mask),
+        )
+        self._kernel_plan_cache = (kern, plan)
+        return plan
+
     def _on_event_kernel(self, fleet: CoalitionFleet, t: int) -> None:
-        """Fig. 1's per-event body on the structure-of-arrays kernel: one
-        lockstep advance, one batched value/psi query, one dense
-        ``UpdateVals`` matmul per size group, and vectorized scheduling
-        rounds -- bit-identical decisions to the per-engine body."""
+        """Fig. 1's per-event body fused over the structure-of-arrays
+        kernel: one lockstep advance, one psi-ledger evaluation (coalition
+        values are its row sums), one dense ``UpdateVals`` matmul per size
+        group scattered into a single ``(rows, orgs)`` phi matrix, one
+        global int64 guard, and one batched scheduling pass -- bit-identical
+        decisions to the per-engine body (the guard only picks *which*
+        exact-equivalent path computes them)."""
+        kern = fleet.kernel
+        if kern is None:  # materialized (unknown drive policy elsewhere)
+            self._on_event(fleet, t)
+            return
+        if t < kern.t:  # retrospective step: rare, take the grouped path
+            self._on_event_kernel_groups(fleet, t)
+            return
+        kern.advance(t)
+        if not kern._query_safe(t):
+            self._on_event_exact(fleet, t, None)
+            return
+        capable = kern.capable_rows()
+        if not capable.any():
+            return
+        plan_groups, facts, max_rw, max_fact, grand_row = self._kernel_plan(
+            kern
+        )
+        psis = kern.psis_matrix(t)
+        # per-cell psi numerators are even (s·(s-2t-1) is always even), so
+        # the cellwise //2 loses nothing and row sums are exactly the
+        # coalition values of values_i64
+        vals = psis.sum(axis=1)
+        max_abs = int(np.abs(vals).max()) if len(vals) else 0
+        psis_absmax = int(np.abs(psis).max()) if psis.size else 0
+        # one conservative guard for every group's |phi| + |C|!·|psi|; on a
+        # trip the grouped path re-checks per size group and falls back to
+        # exact big-int arithmetic only where needed
+        if (
+            max_rw * max_abs >= 1 << 62
+            or max_rw * max_abs + max_fact * psis_absmax >= 1 << 63
+        ):
+            self._on_event_kernel_groups(fleet, t)
+            return
+        phi_full = np.zeros((kern.n, self.workload.n_orgs), dtype=np.int64)
+        for coef, vrows, krows, cols in plan_groups:
+            phi = np.matmul(coef, vals[vrows][:, :, None])[:, :, 0]
+            phi_full[krows[:, None], cols] = phi
+        if grand_row is not None and capable[grand_row]:
+            row = phi_full[grand_row]
+            self.last_phi_scaled = {
+                u: int(row[u]) for u in iter_members(self.grand_mask)
+            }
+        keys = phi_full - facts * psis
+        rows = np.flatnonzero(capable)
+        fleet.fill_rows(rows, keys[rows], t)
+
+    def _on_event_kernel_groups(self, fleet: CoalitionFleet, t: int) -> None:
+        """The per-size-group kernel event body (the fused path's fallback
+        for retrospective steps and near-overflow states): one value/psi
+        query, one ``UpdateVals`` matmul per size group with a per-group
+        int64 guard, exact big-int fallback per group."""
         vals = fleet.values_array(t)  # advances the kernel to t
         kern = fleet.kernel
         if kern is None:  # materialized mid-query (unknown drive policy)

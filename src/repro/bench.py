@@ -438,13 +438,39 @@ def measure_pipeline(workers: int = 4, repeats: int = 12) -> dict:
 # ----------------------------------------------------------------------
 # service bench (moved from benchmarks/record_service.py)
 # ----------------------------------------------------------------------
-#: (record key, policy name, org machine counts, job count scale)
+#: (record key, policy name, org machine counts, job count scale,
+#:  policy params, run under --quick, also time the engines-forced backend)
 SERVICE_RUNS = (
-    ("directcontr_k5", "directcontr", (3, 2, 2, 1, 1), 1.0),
-    ("fairshare_k5", "fairshare", (3, 2, 2, 1, 1), 1.0),
-    ("fifo_k5", "fifo", (3, 2, 2, 1, 1), 1.0),
-    ("rand_k5", "rand", (3, 2, 2, 1, 1), 0.5),
-    ("ref_k4", "ref", (2, 1, 1, 1), 0.25),
+    ("directcontr_k5", "directcontr", (3, 2, 2, 1, 1), 1.0, None, True, False),
+    ("fairshare_k5", "fairshare", (3, 2, 2, 1, 1), 1.0, None, True, False),
+    ("fifo_k5", "fifo", (3, 2, 2, 1, 1), 1.0, None, True, False),
+    ("rand_k5", "rand", (3, 2, 2, 1, 1), 0.5, None, True, False),
+    ("ref_k4", "ref", (2, 1, 1, 1), 0.25, None, True, False),
+    ("fifo_k8", "fifo", (3, 2, 2, 1, 1, 1, 1, 1), 0.5, None, True, False),
+    ("ref_k8", "ref", (3, 2, 2, 1, 1, 1, 1, 1), 0.5, None, True, True),
+    (
+        "rand_k8_n75",
+        "rand",
+        (3, 2, 2, 1, 1, 1, 1, 1),
+        0.5,
+        {"n_orderings": 75},
+        True,
+        True,
+    ),
+    # 1023 coalition rows: kernel-only (the per-engine body at k=10 is the
+    # impractical configuration the kernel exists to replace), full mode only
+    ("ref_k10", "ref", (2, 2, 2, 1, 1, 1, 1, 1, 1, 1), 0.25, None, False, False),
+)
+
+#: Same-machine service *ratio* fields enforced by the CI ``perf-gate``:
+#: the fairness tax (GreedyFIFO events/sec over the fair policy's) and the
+#: restore/snapshot cost ratio must not grow past the committed value plus
+#: the tolerance.  Ratios compare two runs timed in the same process, so a
+#: slow CI runner shifts numerator and denominator together.
+GATED_SERVICE_RATIOS = (
+    "ratio_fifo_over_ref_k8",
+    "ratio_fifo_over_rand_k8_n75",
+    "restore_over_snapshot",
 )
 
 
@@ -469,29 +495,61 @@ def service_workload(machine_counts: "tuple[int, ...]", n_jobs: int, seed: int =
     return Workload(orgs, jobs)
 
 
-def measure_service(n_jobs: int = 600) -> dict:
+def measure_service(n_jobs: int = 600, quick: bool = False) -> dict:
     """Online-service event throughput plus snapshot/restore cost (see
-    BENCH_service.json); refuses to record non-equivalent runs."""
+    BENCH_service.json); refuses to record non-equivalent runs.
+
+    Every tier is timed against the replay loop only (``wall_time_s``
+    excludes the batch-counterpart verification), best-of-``rounds`` on the
+    same workload.  The first run always verifies ``replay == batch``.
+    Tiers flagged for it also record the engines-forced backend on the same
+    workload (full mode only -- the per-engine body is the slow path the
+    kernel replaces, and one timing run of it is enough)."""
     from .service import ClusterService, ReplayDriver
 
+    if quick:
+        n_jobs = min(n_jobs, 300)
+    rounds = 2 if quick else 3
     runs: dict = {}
-    for key, policy, machines, scale in SERVICE_RUNS:
+    for key, policy, machines, scale, params, in_quick, engines in SERVICE_RUNS:
+        if quick and not in_quick:
+            continue
         wl = service_workload(machines, max(20, int(n_jobs * scale)))
-        report = ReplayDriver(wl, policy, seed=0).run()
+
+        def replay(check: bool):
+            return ReplayDriver(
+                wl, policy, seed=0, policy_params=params, check_batch=check
+            ).run()
+
+        report = replay(True)
         if not report.equivalent:
             raise SystemExit(
                 f"{key}: replay != batch -- refusing to record a "
                 f"throughput number for a wrong schedule"
             )
+        best = report
+        for _ in range(rounds - 1):
+            again = replay(False)
+            if again.wall_time_s < best.wall_time_s:
+                best = again
         runs[key] = {
             "policy": report.policy,
             "n_orgs": len(machines),
             "n_jobs": report.n_jobs,
             "n_events": report.n_events,
-            "wall_time_s": round(report.wall_time_s, 4),
-            "events_per_sec": round(report.events_per_sec, 1),
+            "wall_time_s": round(best.wall_time_s, 4),
+            "events_per_sec": round(best.events_per_sec, 1),
             "replay_equals_batch": report.equivalent,
         }
+        if engines and not quick:
+            with _forced_backend(_ENGINES_ONLY):
+                forced = replay(False)
+            runs[key]["events_per_sec_engines"] = round(
+                forced.events_per_sec, 1
+            )
+            runs[key]["kernel_speedup"] = round(
+                best.events_per_sec / forced.events_per_sec, 2
+            )
 
     wl = service_workload((3, 2, 2, 1, 1), max(20, n_jobs))
     svc = ClusterService(wl.machine_counts(), "directcontr", seed=0)
@@ -499,17 +557,31 @@ def measure_service(n_jobs: int = 600) -> dict:
         svc.submit_job(job)
         svc.advance(job.release)
     svc.drain()
-    t0 = time.perf_counter()
-    snap = svc.snapshot()
-    snapshot_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    restored = ClusterService.restore(snap)
-    restore_s = time.perf_counter() - t0
+    snapshot_s, restore_s = float("inf"), float("inf")
+    for _ in range(3):  # best-of-3: both legs are milliseconds-scale
+        t0 = time.perf_counter()
+        snap = svc.snapshot()
+        snapshot_s = min(snapshot_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        restored = ClusterService.restore(snap)
+        restore_s = min(restore_s, time.perf_counter() - t0)
     if restored.schedule() != svc.schedule():
         raise SystemExit("restore != live -- refusing to record")
+
+    def tax(fair_key: str) -> float:
+        """GreedyFIFO throughput over the fair policy's, same machine."""
+        return round(
+            runs["fifo_k8"]["events_per_sec"]
+            / runs[fair_key]["events_per_sec"],
+            2,
+        )
+
     return {
         "bench": "service",
         "runs": runs,
+        "ratio_fifo_over_ref_k8": tax("ref_k8"),
+        "ratio_fifo_over_rand_k8_n75": tax("rand_k8_n75"),
+        "restore_over_snapshot": round(restore_s / snapshot_s, 2),
         "snapshot": {
             "journal_ops": len(svc.journal),
             "snapshot_s": round(snapshot_s, 4),
@@ -518,6 +590,33 @@ def measure_service(n_jobs: int = 600) -> dict:
         },
         **machine_meta(),
     }
+
+
+def check_service_ratios(
+    measured: dict, committed_path: "str | Path", tolerance: float = 0.35
+) -> "list[str]":
+    """The service perf-gate: the fairness-tax and restore-cost *ratios*
+    must not grow past the committed BENCH_service.json value plus the
+    tolerance (these are costs, so the gated direction is a ceiling, not a
+    floor); returns the list of regression messages (empty = passes)."""
+    committed = json.loads(Path(committed_path).read_text())
+    problems = []
+    for field in GATED_SERVICE_RATIOS:
+        want = committed.get(field)
+        if want is None:
+            problems.append(f"{field}: missing from {committed_path}")
+            continue
+        ceiling = want * (1.0 + tolerance)
+        got = measured.get(field)
+        if got is None or got > ceiling:
+            problems.append(
+                f"{field}: measured {got} > committed {want} + "
+                f"{tolerance:.0%} tolerance (ceiling {ceiling:.2f})"
+            )
+    for key, run in measured.get("runs", {}).items():
+        if not run.get("replay_equals_batch", False):
+            problems.append(f"{key}: replay_equals_batch is not true")
+    return problems
 
 
 # ----------------------------------------------------------------------
@@ -536,7 +635,7 @@ BENCHES = {
         "BENCH_pipeline.json",
     ),
     "service": (
-        lambda args: measure_service(n_jobs=args.jobs),
+        lambda args: measure_service(n_jobs=args.jobs, quick=args.quick),
         "BENCH_service.json",
     ),
 }
@@ -561,10 +660,11 @@ def main(args: argparse.Namespace) -> int:
             out = BENCHES[name][1]
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
         print(json.dumps(payload, indent=2))
-        if name == "fleet" and args.check_against is not None:
-            problems = check_fleet_ratios(
-                payload, args.check_against, args.tolerance
-            )
+        checker = {"fleet": (check_fleet_ratios, GATED_RATIOS),
+                   "service": (check_service_ratios, GATED_SERVICE_RATIOS)}
+        if name in checker and args.check_against is not None:
+            check, fields = checker[name]
+            problems = check(payload, args.check_against, args.tolerance)
             if problems:
                 exit_code = 1
                 for p in problems:
@@ -573,7 +673,7 @@ def main(args: argparse.Namespace) -> int:
                 print(
                     "perf-gate OK: "
                     + ", ".join(
-                        f"{f}={payload[f]}" for f in GATED_RATIOS
+                        f"{f}={payload[f]}" for f in fields
                     )
                 )
     return exit_code

@@ -190,6 +190,18 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--snapshot-to", default=None, dest="snapshot_to",
                      metavar="FILE",
                      help="write a final snapshot when the loop ends")
+    srv.add_argument("--batch-max", type=int, default=1, dest="batch_max",
+                     metavar="N",
+                     help="micro-batch ingest: buffer up to N submitted jobs "
+                          "before feeding the policy as one grouped kernel "
+                          "update (default 1 = feed each submit immediately; "
+                          "0 = unbounded, flush on time advance/observation). "
+                          "Never changes the schedule, only throughput")
+    srv.add_argument("--batch-linger-ms", type=float, default=None,
+                     dest="batch_linger_ms", metavar="MS",
+                     help="force-flush the ingest buffer once its oldest job "
+                          "is older than MS milliseconds (checked after each "
+                          "command; default: no time bound)")
 
     bench = sub.add_parser(
         "bench",
@@ -467,12 +479,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.daemon import serve_loop
     from .service.snapshot import load_snapshot
 
+    if args.batch_max < 0:
+        print("--batch-max must be >= 0", file=sys.stderr)
+        return 2
+    batch_max = None if args.batch_max == 0 else args.batch_max
     if args.restore is not None:
-        service = ClusterService.restore(load_snapshot(args.restore))
+        service = ClusterService.restore(
+            load_snapshot(args.restore), batch_max=batch_max
+        )
     else:
         counts = tuple(int(v) for v in args.orgs.split(","))
         service = ClusterService(
-            counts, args.policy, seed=args.seed, horizon=args.horizon
+            counts,
+            args.policy,
+            seed=args.seed,
+            horizon=args.horizon,
+            batch_max=batch_max,
         )
     status = service.status()
     print(
@@ -482,7 +504,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
         flush=True,
     )
-    serve_loop(service, sys.stdin, sys.stdout, snapshot_to=args.snapshot_to)
+    serve_loop(
+        service,
+        sys.stdin,
+        sys.stdout,
+        snapshot_to=args.snapshot_to,
+        batch_linger_ms=args.batch_linger_ms,
+    )
     return 0
 
 

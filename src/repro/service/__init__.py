@@ -24,18 +24,9 @@ from .snapshot import load_snapshot, save_snapshot
 __all__ = [
     "ClusterService",
     "OnlinePolicy",
-    "POLICIES",
     "ReplayDriver",
     "ReplayReport",
     "replay_scenario",
     "load_snapshot",
     "save_snapshot",
 ]
-
-
-def __getattr__(name: str):
-    if name == "POLICIES":  # deprecated: forwards to the registry shim
-        from . import service as _service
-
-        return _service.POLICIES
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

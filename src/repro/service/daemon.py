@@ -28,6 +28,7 @@ Every response carries ``"ok": true/false``; errors are reported in-band
 from __future__ import annotations
 
 import json
+import time
 from typing import IO, Iterable
 
 from .service import ClusterService
@@ -99,13 +100,23 @@ def serve_loop(
     out: IO[str],
     *,
     snapshot_to: "str | None" = None,
+    batch_linger_ms: "float | None" = None,
 ) -> ClusterService:
     """Serve JSONL commands until ``stop`` / EOF; returns the service.
 
     ``snapshot_to`` writes a final snapshot when the loop ends (whether by
     ``stop``, end of input, or a client going away), so a supervised
     daemon always leaves a restorable checkpoint behind.
+
+    ``batch_linger_ms`` bounds how long a submitted job may sit in the
+    service's micro-batch ingest buffer (see ``ClusterService.batch_max``):
+    the buffer is force-flushed once the oldest buffered job is older than
+    the linger, checked after each command.  Flush timing never changes the
+    schedule -- the knobs only trade per-op latency for grouped-update
+    throughput.
     """
+    linger_s = None if batch_linger_ms is None else batch_linger_ms / 1000.0
+    buffered_since: "float | None" = None
     try:
         for line in lines:
             line = line.strip()
@@ -120,6 +131,14 @@ def serve_loop(
                 response, keep = _handle(service, cmd)
             except (ValueError, KeyError, TypeError) as exc:
                 response, keep = {"ok": False, "error": str(exc)}, True
+            if linger_s is not None:
+                if not service.pending_ingest:
+                    buffered_since = None
+                elif buffered_since is None:
+                    buffered_since = time.monotonic()
+                elif time.monotonic() - buffered_since >= linger_s:
+                    service.flush_ingest()
+                    buffered_since = None
             out.write(json.dumps(response) + "\n")
             out.flush()
             if not keep:

@@ -38,13 +38,12 @@ at the change epoch when it does not.
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
 from typing import Sequence
 
 import numpy as np
 
-from ..algorithms.base import PolicyScheduler, Scheduler, SchedulerResult
+from ..algorithms.base import PolicyScheduler, SchedulerResult
 from ..algorithms.rand import RandRun
 from ..algorithms.ref import RefRun
 from ..core.coalition import iter_members, popcount, subsets_by_size
@@ -57,9 +56,7 @@ from ..core.workload import Workload
 from ..policies import (
     REF_MAX_ORGS,
     CapabilityError,
-    PolicyEntry,
     PolicySpec,
-    build_scheduler,
     get_policy,
     policy_names,
 )
@@ -73,8 +70,6 @@ from .state import ClusterCensus, ServiceOp
 __all__ = [
     "ClusterService",
     "OnlinePolicy",
-    "POLICIES",
-    "batch_counterpart",
     "REF_MAX_ORGS",
 ]
 
@@ -110,6 +105,17 @@ class OnlinePolicy(ABC):
     @abstractmethod
     def submit(self, job: Job) -> None:
         """Feed one job to every engine covering its organization."""
+
+    def submit_many(self, jobs: "list[Job]") -> None:
+        """Feed a whole ingest batch (the service's micro-batched flush).
+
+        The default loops :meth:`submit`; fleet-backed policies override
+        it to absorb the batch in one grouped kernel update with a single
+        certification check.  Must be equivalent to per-job feeding --
+        the service relies on that for the online==batch contract.
+        """
+        for job in jobs:
+            self.submit(job)
 
     @abstractmethod
     def grand_engine(self) -> ClusterEngine:
@@ -228,6 +234,12 @@ class _FleetPolicy(OnlinePolicy):
     def force_round(self, t: int) -> None:
         self._round(t)
 
+    def submit(self, job: Job) -> None:
+        self.fleet.submit(job)
+
+    def submit_many(self, jobs: "list[Job]") -> None:
+        self.fleet.submit_many(jobs)
+
     def grand_engine(self) -> ClusterEngine:
         return self.fleet.engine(self.grand_mask)
 
@@ -326,9 +338,6 @@ class _RefPolicy(_FleetPolicy):
     def _round(self, t: int) -> None:
         self.run.step(t)
 
-    def submit(self, job: Job) -> None:
-        self.fleet.submit(job)
-
     def join(self, org: int) -> None:
         self._check_size(len(self.service.census.members))
         old_grand = self.grand_mask
@@ -406,6 +415,10 @@ class _RandPolicy(_FleetPolicy):
         self.fleet.submit(job)
         self.run.oracle.submit(job)
 
+    def submit_many(self, jobs: "list[Job]") -> None:
+        self.fleet.submit_many(jobs)
+        self.run.oracle.submit_many(jobs)
+
     def _fleets(self) -> "tuple[CoalitionFleet, ...]":
         return (self.fleet, self.run.oracle)
 
@@ -440,88 +453,6 @@ class _RandPolicy(_FleetPolicy):
         for mask in sampled:
             fleet.add_mask(mask, self.service.build_engine(mask))
         return fleet
-
-
-# ----------------------------------------------------------------------
-# deprecated dispatch shims (canonical table: repro.policies)
-# ----------------------------------------------------------------------
-def _declared_only(entry: PolicyEntry, params: "dict | None") -> dict:
-    """Filter a legacy params dict down to the entry's declared schema.
-
-    The pre-registry batch factories silently ignored keys a policy did
-    not consume (callers passed one dict for any policy name); the
-    deprecated shims preserve that, where the blessed API raises
-    :class:`~repro.policies.PolicyParamError` instead.
-    """
-    declared = {p.name for p in entry.params}
-    return {k: v for k, v in (params or {}).items() if k in declared}
-
-
-def _legacy_policies() -> dict:
-    """The pre-registry ``POLICIES`` mapping shape — ``name ->
-    (online_factory(service), batch_factory(seed, horizon, params))`` —
-    derived from :data:`repro.policies.POLICY_REGISTRY` (no second
-    dispatch table exists)."""
-
-    def batch(entry: PolicyEntry):
-        def make(seed: int, horizon: "int | None", params: "dict | None"):
-            spec = PolicySpec(
-                entry.name, tuple(_declared_only(entry, params).items())
-            )
-            return entry.build(spec, seed=seed, horizon=horizon)
-
-        return make
-
-    def online(entry: PolicyEntry):
-        def make(service: "ClusterService") -> OnlinePolicy:
-            return entry.build_online(
-                service,
-                PolicySpec(entry.name, tuple(service.policy_params.items())),
-            )
-
-        return make
-
-    return {
-        name: (online(entry), batch(entry))
-        for name in policy_names("step")
-        for entry in (get_policy(name),)
-    }
-
-
-def __getattr__(name: str):
-    if name == "POLICIES":
-        warnings.warn(
-            "repro.service.service.POLICIES is deprecated; use "
-            "repro.policies.POLICY_REGISTRY (see repro.api)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _legacy_policies()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def batch_counterpart(
-    policy: str, seed: int, horizon: "int | None", params: "dict | None" = None
-) -> Scheduler:
-    """Deprecated: the batch scheduler the online policy must reproduce.
-
-    Use :func:`repro.policies.build_scheduler` — this shim resolves
-    through the same registry and stays bit-identical.
-    """
-    warnings.warn(
-        "batch_counterpart() is deprecated; use "
-        "repro.policies.build_scheduler(spec, seed=..., horizon=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    entry = get_policy(policy)
-    if not entry.capabilities.step:
-        raise CapabilityError(
-            f"policy {policy!r} has no step capability: no online run "
-            f"exists for a batch counterpart to mirror"
-        )
-    spec = PolicySpec(policy, tuple(_declared_only(entry, params).items()))
-    return build_scheduler(spec, seed=seed, horizon=horizon)
 
 
 # ----------------------------------------------------------------------
@@ -567,6 +498,7 @@ class ClusterService:
         seed: int = 0,
         horizon: "int | None" = None,
         policy_params: "dict | None" = None,
+        batch_max: "int | None" = None,
     ) -> None:
         counts = tuple(int(c) for c in machine_counts)
         if not counts:
@@ -603,6 +535,17 @@ class ClusterService:
         self.n_events = 0
         self.n_jobs = 0
         self._last_decision: "int | None" = None
+        #: Micro-batched ingest (DESIGN.md §9): accepted-but-unfed jobs.
+        #: Census validation and journaling happen eagerly at submit;
+        #: feeding the policy's engines is deferred until a flush point
+        #: (any time advance, membership/machine mutation, observation, or
+        #: the ``batch_max``-th buffered job).  Flushing never runs a
+        #: scheduling round, so the schedule is bit-identical for every
+        #: batch size.
+        if batch_max is not None and batch_max < 1:
+            raise ValueError("batch_max must be >= 1 (or None: unbounded)")
+        self.batch_max = batch_max
+        self._pending_jobs: "list[Job]" = []
         self._policy: OnlinePolicy = entry.online_factory(self, resolved)
 
     @property
@@ -649,6 +592,28 @@ class ClusterService:
         return eng
 
     # ------------------------------------------------------------------
+    # micro-batched ingest
+    # ------------------------------------------------------------------
+    @property
+    def pending_ingest(self) -> int:
+        """Accepted (journaled) jobs not yet fed to the policy's engines."""
+        return len(self._pending_jobs)
+
+    def flush_ingest(self) -> int:
+        """Feed every buffered job to the policy as one grouped update
+        (one kernel certification + splice under the kernel backend);
+        returns the number of jobs flushed.  Runs automatically before any
+        event processing, membership/machine mutation, or observation --
+        calling it explicitly only controls *when* the batch lands, never
+        what gets scheduled.
+        """
+        if not self._pending_jobs:
+            return 0
+        jobs, self._pending_jobs = self._pending_jobs, []
+        self._policy.submit_many(jobs)
+        return len(jobs)
+
+    # ------------------------------------------------------------------
     # time
     # ------------------------------------------------------------------
     def advance(self, until: int) -> int:
@@ -661,6 +626,7 @@ class ClusterService:
         self.journal.append(
             ServiceOp("advance", self.clock, (("until", until),))
         )
+        self.flush_ingest()
         done = 0
         while True:
             t = self._policy.pending()
@@ -676,6 +642,7 @@ class ClusterService:
         """Process every remaining decision event (up to the horizon);
         returns the service clock afterwards."""
         self.journal.append(ServiceOp("drain", self.clock))
+        self.flush_ingest()
         while True:
             t = self._policy.pending()
             if t is None:
@@ -700,6 +667,7 @@ class ClusterService:
     def _force_round(self) -> None:
         """Re-open the scheduling round at the current clock (capacity or
         work appeared after that round was processed)."""
+        self.flush_ingest()
         self._policy.force_round(self.clock)
         self.n_events += 1
 
@@ -757,12 +725,18 @@ class ClusterService:
                 ),
             )
         )
-        self._policy.submit(job)
+        self._pending_jobs.append(job)
         self.n_jobs += 1
         if self._last_decision is not None and effective <= self._last_decision:
             # the round at this time already ran; re-open it so a free
             # machine cannot idle past a job that just arrived
+            # (_force_round flushes the buffer first)
             self._force_round()
+        elif (
+            self.batch_max is not None
+            and len(self._pending_jobs) >= self.batch_max
+        ):
+            self.flush_ingest()
         return job
 
     def submit_job(self, job: Job) -> Job:
@@ -789,6 +763,7 @@ class ClusterService:
         if machines < 0:
             raise ValueError("machines must be >= 0")
         self._require_dynamic("admit an organization")
+        self.flush_ingest()
         cap = self.max_orgs
         if cap is not None and len(self.census.members) + 1 > cap:
             raise CapabilityError(
@@ -819,6 +794,7 @@ class ClusterService:
         self.census.require_member(org)
         if len(self.census.members) == 1:
             raise ValueError("cannot remove the last member organization")
+        self.flush_ingest()
         machine_ids = self.census.expel(org)
         self.journal.append(
             ServiceOp("leave_org", self.clock, (("org", org),))
@@ -829,6 +805,7 @@ class ClusterService:
         """Grow an organization's endowment; returns the new global ids."""
         if count < 1:
             raise ValueError("count must be >= 1")
+        self.flush_ingest()
         machine_ids = self.census.grow(org, count)
         self.journal.append(
             ServiceOp(
@@ -844,6 +821,7 @@ class ClusterService:
         machines drain); returns the retired global ids."""
         if count < 1:
             raise ValueError("count must be >= 1")
+        self.flush_ingest()
         machine_ids = self.census.shrink(org, count)
         self.journal.append(
             ServiceOp(
@@ -860,19 +838,25 @@ class ClusterService:
     # ------------------------------------------------------------------
     @property
     def policy(self) -> OnlinePolicy:
+        """The live policy adapter (buffered ingest is flushed first, so
+        engine state observed through it reflects every accepted op)."""
+        self.flush_ingest()
         return self._policy
 
     def schedule(self) -> Schedule:
         """The physical cluster's schedule so far."""
+        self.flush_ingest()
         return self._policy.grand_engine().schedule()
 
     def psis(self, t: "int | None" = None) -> "list[int]":
         """Per-organization psi_sp on the physical cluster."""
+        self.flush_ingest()
         return self._policy.grand_engine().psis(t)
 
     def result(self, workload: "Workload | None" = None) -> SchedulerResult:
         """The run-so-far as a batch-compatible :class:`SchedulerResult`
         (``workload`` defaults to the jobless genesis description)."""
+        self.flush_ingest()
         engine = self._policy.grand_engine()
         return SchedulerResult(
             algorithm=self._policy.name,
@@ -885,6 +869,7 @@ class ClusterService:
 
     def status(self) -> dict:
         """A JSON-friendly health/throughput summary."""
+        self.flush_ingest()
         engine = self._policy.grand_engine()
         return {
             "policy": self._policy.name,
@@ -924,13 +909,23 @@ class ClusterService:
         )
 
     @classmethod
-    def restore(cls, payload: dict, *, verify: bool = True) -> "ClusterService":
+    def restore(
+        cls,
+        payload: dict,
+        *,
+        verify: bool = True,
+        batch_max: "int | None" = None,
+    ) -> "ClusterService":
         """Rebuild a service from a snapshot, bit-identically.
 
         The journal is replayed through the live ingest path (each op at
-        its recorded clock), then the clock is advanced to the snapshot's.
-        With ``verify`` (default) the restored schedule's digest must
-        match the recorded one.
+        its recorded clock) with micro-batched ingest -- consecutive
+        journaled submits land as one grouped update at the next journaled
+        flush point, which batching guarantees is schedule-identical --
+        then the clock is advanced to the snapshot's.  With ``verify``
+        (default) the restored schedule's digest must match the recorded
+        one.  ``batch_max`` becomes the restored service's ingest knob
+        (replay itself always defers to the journaled flush points).
         """
         journal = check_snapshot(payload)
         policy = payload["policy"]
@@ -943,6 +938,7 @@ class ClusterService:
         )
         for op in journal:
             service._apply(op)
+        service.batch_max = batch_max
         if service.clock != payload["clock"]:
             raise ValueError(
                 f"restore verification failed: replayed clock "

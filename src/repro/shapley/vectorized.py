@@ -146,20 +146,14 @@ class ScaledShapleySolver:
             for m, mem, row in zip(masks, members, phi.tolist())
         }
 
-    def phi_scaled_matrix(
-        self,
-        masks: "tuple[int, ...]",
-        values: np.ndarray,
-        max_abs_value: int,
-        n_orgs: int,
-    ) -> "tuple[np.ndarray, int] | None":
-        """Like :meth:`phi_scaled_batch` but returning a dense
-        ``(len(masks), n_orgs)`` int64 matrix (zero for non-members) plus a
-        certified bound on ``|phi|`` -- the layout the batched
-        :class:`~repro.core.kernel.FleetKernel` scheduling rounds consume.
-        Returns ``None`` when the int64 guard cannot certify the products
-        (the caller falls back to exact big-int ``update_vals_scaled``).
-        """
+    def matrix_plan(
+        self, masks: "tuple[int, ...]"
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, int]":
+        """The cached stacked plan of one equal-size mask family:
+        ``(coef (n, s, 2^s-1), value_rows (n, 2^s-1), org_cols (n, s),
+        row_weight)``.  :meth:`phi_scaled_matrix` evaluates it; callers
+        that fuse several size groups into one pass (the REF kernel event
+        body) consume it directly."""
         plan = self._matrix_plans.get(masks)
         if plan is None:
             sizes = {m.bit_count() for m in masks}
@@ -181,7 +175,23 @@ class ScaledShapleySolver:
                 max(p.row_weight for p in singles),
             )
             self._matrix_plans[masks] = plan
-        coef, rows, cols, row_weight = plan
+        return plan
+
+    def phi_scaled_matrix(
+        self,
+        masks: "tuple[int, ...]",
+        values: np.ndarray,
+        max_abs_value: int,
+        n_orgs: int,
+    ) -> "tuple[np.ndarray, int] | None":
+        """Like :meth:`phi_scaled_batch` but returning a dense
+        ``(len(masks), n_orgs)`` int64 matrix (zero for non-members) plus a
+        certified bound on ``|phi|`` -- the layout the batched
+        :class:`~repro.core.kernel.FleetKernel` scheduling rounds consume.
+        Returns ``None`` when the int64 guard cannot certify the products
+        (the caller falls back to exact big-int ``update_vals_scaled``).
+        """
+        coef, rows, cols, row_weight = self.matrix_plan(masks)
         if max_abs_value < 0 or row_weight * max_abs_value >= _INT64_CAP:
             return None
         phi = np.matmul(coef, values[rows][:, :, None])[:, :, 0]

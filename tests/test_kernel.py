@@ -130,6 +130,31 @@ class TestKernelValueOracle:
                 t, select=fifo_select
             )
 
+    def test_submit_many_matches_sequential_submits(self):
+        """One grouped splice == N sequential splices -- including
+        same-release jobs from different orgs, whose flat positions meet
+        at an org-window boundary (lower org must land first)."""
+        early = [(0, 0, 2), (1, 1, 3), (2, 2, 1)]
+        late = [(6, 2, 2), (6, 0, 1), (6, 1, 4), (9, 0, 2), (9, 2, 5)]
+        wl_early = make_workload([1, 2, 1], early)
+        wl_full = make_workload([1, 2, 1], early + late)
+        late_jobs = [j for j in sorted(wl_full.jobs) if j.release >= 6]
+        masks = all_masks(3)
+        one = CoalitionFleet(wl_early, masks, backend="kernel")
+        many = CoalitionFleet(wl_early, masks, backend="kernel")
+        one.values_at(4, select=fifo_select)
+        many.values_at(4, select=fifo_select)
+        for j in late_jobs:
+            one.submit(j)
+        many.submit_many(late_jobs)
+        assert one.kernel is not None and many.kernel is not None
+        assert many.kernel.rel_flat.tolist() == one.kernel.rel_flat.tolist()
+        assert many.kernel.size_flat.tolist() == one.kernel.size_flat.tolist()
+        for t in (6, 9, 15, 40):
+            assert many.values_at(t, select=fifo_select) == one.values_at(
+                t, select=fifo_select
+            ), t
+
 
 class TestKernelSchedulesBitIdentical:
     """Forced-kernel transcripts == forced-engines transcripts (the engines
@@ -453,12 +478,48 @@ class TestReplayEquivalenceWithKernel:
         report = ReplayDriver(wl, policy, seed=0).run()
         assert report.equivalent
 
-    def test_replay_with_kill_restore(self, force_kernel, rng):
+    @pytest.mark.parametrize("policy", ["ref", "rand"])
+    def test_replay_with_kill_restore(self, policy, force_kernel, rng):
         from repro.service import ReplayDriver
 
         wl = random_workload(rng, n_orgs=3, n_jobs=12, max_release=10)
-        report = ReplayDriver(wl, "ref", seed=0, snapshot_every=3).run()
+        report = ReplayDriver(wl, policy, seed=0, snapshot_every=3).run()
+        assert report.n_snapshots > 0
         assert report.equivalent
+
+    def test_midstream_unsafe_submit_materializes(self, force_kernel,
+                                                  monkeypatch, rng):
+        """An overflow-boundary submit mid-stream trips ``KernelUnsafe``
+        inside the service's grouped ingest: the fleet materializes to
+        per-engine state and finishes bit-identically to a run that never
+        used the kernel at all."""
+        from repro.service import ClusterService
+
+        wl = random_workload(
+            rng, n_orgs=3, n_jobs=10, max_release=8,
+            machine_counts=[2, 1, 1],
+        )
+
+        def stream(svc):
+            for job in sorted(wl.jobs):
+                svc.submit_job(job)
+                svc.advance(job.release)
+            svc.submit(0, 1 << 33, release=svc.clock)  # breaks certification
+            svc.drain()
+            return svc
+
+        with_kernel = ClusterService(wl.machine_counts(), "ref", seed=0)
+        assert with_kernel._policy.fleet.kernel is not None
+        stream(with_kernel)
+        assert with_kernel._policy.fleet.kernel is None  # escaped mid-run
+
+        monkeypatch.setattr(kernel_mod, "KERNEL_MIN_ENGINES", 1 << 30)
+        engines_only = stream(
+            ClusterService(wl.machine_counts(), "ref", seed=0)
+        )
+        assert engines_only._policy.fleet.kernel is None
+        assert with_kernel.schedule() == engines_only.schedule()
+        assert with_kernel.n_events == engines_only.n_events
 
 
 class TestKernelInternals:

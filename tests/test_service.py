@@ -98,6 +98,75 @@ class TestReplayEqualsBatch:
         assert len(report.schedule) == 0
 
 
+# ----------------------------------------------------------------------
+# micro-batched ingest (ISSUE 6)
+# ----------------------------------------------------------------------
+class TestMicroBatchedIngest:
+    """DESIGN.md §9: flushing the ingest buffer never runs a scheduling
+    round -- rounds happen only at journaled advance/drain/observation
+    points -- so every ``batch_max`` yields bit-identical schedules,
+    events, journals, and snapshot hashes."""
+
+    def _stream(self, policy: str, batch_max: "int | None"):
+        from itertools import groupby
+
+        rng = np.random.default_rng(11)
+        wl = random_workload(
+            rng, n_orgs=3, n_jobs=18, max_release=12,
+            machine_counts=[2, 1, 1],
+        )
+        svc = ClusterService(
+            wl.machine_counts(), policy, seed=0, batch_max=batch_max
+        )
+        for release, group in groupby(
+            sorted(wl.jobs), key=lambda j: j.release
+        ):
+            for job in group:
+                svc.submit_job(job)
+            svc.advance(release)
+        svc.drain()
+        return svc
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("batch_max", [3, None])
+    def test_batch_size_invisible_in_output(self, policy, batch_max):
+        base = self._stream(policy, 1)  # feed-each-submit (pre-batching)
+        other = self._stream(policy, batch_max)
+        assert other.schedule() == base.schedule()
+        assert other.n_events == base.n_events
+        assert other.journal == base.journal
+        assert (
+            other.snapshot()["content_hash"] == base.snapshot()["content_hash"]
+        )
+
+    def test_flush_never_runs_a_round(self):
+        svc = ClusterService((2, 1), "directcontr", seed=0, batch_max=None)
+        svc.submit(0, 2, release=0)
+        svc.submit(1, 1, release=0)
+        assert svc.pending_ingest == 2  # buffered, already journaled
+        assert svc.n_events == 0
+        assert svc.flush_ingest() == 2
+        assert svc.pending_ingest == 0
+        assert svc.n_events == 0  # feeding engines is not a round
+        svc.advance(0)
+        assert svc.n_events > 0
+
+    def test_batch_max_one_feeds_immediately(self):
+        svc = ClusterService((2, 1), "directcontr", seed=0, batch_max=1)
+        svc.submit(0, 2)
+        assert svc.pending_ingest == 0
+
+    def test_batch_max_validated(self):
+        with pytest.raises(ValueError, match="batch_max"):
+            ClusterService((1,), "fifo", batch_max=0)
+
+    def test_restore_carries_batch_knob(self):
+        svc = self._stream("directcontr", None)
+        restored = ClusterService.restore(svc.snapshot(), batch_max=4)
+        assert restored.batch_max == 4
+        assert restored.schedule() == svc.schedule()
+
+
 class TestGoldenReplay:
     """The online path reproduces the seed implementations' transcripts."""
 
@@ -507,31 +576,135 @@ class TestDaemon:
         # every bad line answered in-band; the daemon kept serving
         assert [r["ok"] for r in responses] == [False] * 4 + [True]
 
+    def test_batch_linger_flushes_between_commands(self):
+        """``--batch-linger-ms`` bounds buffered-job latency: with an
+        unbounded ``batch_max`` and linger 0 the buffer drains as soon as
+        the next command is handled, never changing the schedule."""
+        svc = ClusterService((2, 1), "directcontr", seed=0, batch_max=None)
+        seen = []
+
+        def lines():
+            yield json.dumps({"op": "submit", "org": 0, "size": 2})
+            seen.append(svc.pending_ingest)
+            yield json.dumps({"op": "submit", "org": 1, "size": 1})
+            seen.append(svc.pending_ingest)
+            yield json.dumps({"op": "stop"})
+
+        serve_loop(svc, lines(), io.StringIO(), batch_linger_ms=0.0)
+        # first submit only arms the linger clock; the second trips it
+        assert seen == [1, 0]
+
+        unlingered = ClusterService(
+            (2, 1), "directcontr", seed=0, batch_max=None
+        )
+        serve_loop(
+            unlingered,
+            io.StringIO(
+                json.dumps({"op": "submit", "org": 0, "size": 2}) + "\n"
+                + json.dumps({"op": "submit", "org": 1, "size": 1}) + "\n"
+                + json.dumps({"op": "stop"}) + "\n"
+            ),
+            io.StringIO(),
+        )
+        assert unlingered.pending_ingest == 2  # no linger: still buffered
+        svc.drain()
+        unlingered.drain()
+        assert svc.schedule() == unlingered.schedule()
+
+    def test_cli_batch_flags(self, monkeypatch, capsys):
+        from repro import cli
+
+        assert cli.main(["serve", "--batch-max", "-1"]) == 2
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO('{"op": "stop"}\n')
+        )
+        rc = cli.main(
+            ["serve", "--batch-max", "0", "--batch-linger-ms", "5"]
+        )
+        assert rc == 0
+        assert '"stopped": true' in capsys.readouterr().out
+
     def test_batch_counterpart_params_flow_through_registry(self):
         scheduler = build_scheduler("rand:n_orderings=30", seed=3, horizon=100)
         assert scheduler.n_orderings == 30
 
-    def test_deprecated_dispatch_shims_still_work(self):
-        """The pre-registry surface forwards to the registry, warning."""
+    def test_deprecated_dispatch_shims_removed(self):
+        """The PR 4 ``POLICIES``/``batch_counterpart`` shims are gone
+        (deprecation cycle complete); the registry is the only table."""
+        import repro.service as service_pkg
         import repro.service.service as service_mod
 
-        with pytest.warns(DeprecationWarning):
-            legacy = service_mod.POLICIES
-        assert sorted(legacy) == ALL_POLICIES
-        assert legacy["rand"][1](3, 100, {"n_orderings": 30}).n_orderings == 30
-        with pytest.warns(DeprecationWarning):
-            batch = service_mod.batch_counterpart(
-                "rand", 3, 100, {"n_orderings": 30}
-            )
-        assert batch.n_orderings == 30
-        # pre-registry factories ignored undeclared params (callers passed
-        # one dict for any policy name); the shims must keep doing so
-        with pytest.warns(DeprecationWarning):
-            fifo = service_mod.batch_counterpart(
-                "fifo", 0, 100, {"n_orderings": 30}
-            )
-        assert fifo.name == "GreedyFIFO"
-        assert legacy["fifo"][1](0, 100, {"n_orderings": 30}).name == "GreedyFIFO"
+        for name in ("POLICIES", "batch_counterpart"):
+            with pytest.raises(AttributeError):
+                getattr(service_mod, name)
+        with pytest.raises(AttributeError):
+            service_pkg.POLICIES
+        assert "POLICIES" not in service_mod.__all__
+        assert "POLICIES" not in service_pkg.__all__
+        # the blessed registry path still resolves every online policy
+        assert sorted(policy_names("step")) == ALL_POLICIES
+
+
+# ----------------------------------------------------------------------
+# service perf-gate (CI: repro bench service --check-against)
+# ----------------------------------------------------------------------
+class TestServicePerfGate:
+    """The gated service numbers are *cost ratios* (fairness tax, restore
+    over snapshot), so the regression direction is a ceiling: measured
+    may not exceed committed * (1 + tolerance)."""
+
+    COMMITTED = {
+        "ratio_fifo_over_ref_k8": 30.0,
+        "ratio_fifo_over_rand_k8_n75": 25.0,
+        "restore_over_snapshot": 5.0,
+    }
+
+    def _check(self, tmp_path, measured):
+        from repro.bench import check_service_ratios
+
+        path = tmp_path / "committed.json"
+        path.write_text(json.dumps(self.COMMITTED))
+        return check_service_ratios(measured, path, tolerance=0.35)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        measured = {
+            "ratio_fifo_over_ref_k8": 35.0,  # worse, but under the ceiling
+            "ratio_fifo_over_rand_k8_n75": 20.0,
+            "restore_over_snapshot": 6.0,
+            "runs": {"ref_k8": {"replay_equals_batch": True}},
+        }
+        assert self._check(tmp_path, measured) == []
+
+    def test_grown_tax_fails(self, tmp_path):
+        measured = dict(
+            self.COMMITTED, ratio_fifo_over_ref_k8=30.0 * 1.36, runs={}
+        )
+        problems = self._check(tmp_path, measured)
+        assert len(problems) == 1
+        assert "ratio_fifo_over_ref_k8" in problems[0]
+
+    def test_missing_field_and_non_equivalent_run_fail(self, tmp_path):
+        from repro.bench import check_service_ratios
+
+        path = tmp_path / "committed.json"
+        # committed record missing two gated fields; measured record
+        # missing the one the committed file does have
+        path.write_text(json.dumps({"ratio_fifo_over_ref_k8": 30.0}))
+        measured = {"runs": {"ref_k8": {"replay_equals_batch": False}}}
+        problems = check_service_ratios(measured, path, tolerance=0.35)
+        assert any(
+            "ratio_fifo_over_rand_k8_n75: missing" in p for p in problems
+        )
+        assert any("ratio_fifo_over_ref_k8" in p for p in problems)
+        assert any("replay_equals_batch" in p for p in problems)
+
+    def test_committed_record_passes_its_own_gate(self):
+        """The file in the repo must agree with the gate that reads it."""
+        from repro.bench import check_service_ratios
+
+        committed = Path(__file__).parent.parent / "BENCH_service.json"
+        measured = json.loads(committed.read_text())
+        assert check_service_ratios(measured, committed) == []
 
 
 # ----------------------------------------------------------------------
