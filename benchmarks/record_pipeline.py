@@ -1,16 +1,23 @@
-"""Record pipeline serial-vs-parallel wall time (thin wrapper).
+"""Record pipeline serial/batched/parallel wall time (thin wrapper).
 
-The recorder now lives in :mod:`repro.bench` behind ``repro bench
-pipeline``; this script is kept as the historical entry point::
+The recorder lives in :mod:`repro.bench` behind ``repro bench pipeline``;
+this script is kept as the historical entry point::
 
     PYTHONPATH=src python benchmarks/record_pipeline.py \
         [--output BENCH_pipeline.json] [--workers 4] [--repeats 12]
 
-``speedup_parallel`` is the acceptance metric for the pipeline fan-out
-(target >= 2.0 at workers=4 on >= 4-CPU hardware).  Judge the committed
-number against its recorded ``cpus`` field -- process fan-out cannot beat
-serial on a single-CPU container.  Bit-equality of the serial, parallel
-and cache-resumed runs is asserted before anything is recorded.
+``speedup_batched`` (cross-instance fused kernel vs per-instance serial,
+same machine) is the primary acceptance metric (target > 2.0);
+``speedup_parallel`` is the fan-out metric (target > 3.0 at workers=4 on
+>= 4-CPU hardware).  Bit-equality of the serial, batched, parallel and
+cache-resumed runs is asserted before anything is recorded — the recorder
+refuses to emit a record for a non-bit-identical run.
+
+Recording on a single-CPU machine is refused by default: the parallel
+tier would measure process-pool overhead, not parallelism, and committing
+such a number misleads every ``--check-against`` consumer.  Pass
+``--allow-single-cpu`` to record anyway (the payload is then annotated
+with ``single_cpu`` + ``parallel_note``).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench import main as bench_main  # noqa: E402
+from repro.bench import machine_meta, main as bench_main  # noqa: E402
 
 
 def main() -> int:
@@ -34,7 +41,25 @@ def main() -> int:
     )
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--repeats", type=int, default=12)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check-against", default=None, dest="check_against")
+    parser.add_argument("--tolerance", type=float, default=0.35)
+    parser.add_argument(
+        "--allow-single-cpu",
+        action="store_true",
+        help="record even on a 1-CPU machine (speedup_parallel is then "
+        "annotated as meaningless)",
+    )
     args = parser.parse_args()
+    cpus = machine_meta()["cpus"]
+    if cpus is not None and cpus < 2 and not args.allow_single_cpu:
+        print(
+            f"record_pipeline: refusing to record on a {cpus}-CPU machine "
+            "(speedup_parallel would measure pool overhead, not "
+            "parallelism); pass --allow-single-cpu to override",
+            file=sys.stderr,
+        )
+        return 2
     args.bench = "pipeline"
     return bench_main(args)
 

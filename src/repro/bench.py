@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import platform
 import tempfile
@@ -53,6 +54,7 @@ __all__ = [
     "measure_pipeline",
     "measure_service",
     "check_fleet_ratios",
+    "check_pipeline_ratios",
     "main",
 ]
 
@@ -378,26 +380,72 @@ def check_fleet_ratios(
 # ----------------------------------------------------------------------
 # pipeline bench (moved from benchmarks/record_pipeline.py)
 # ----------------------------------------------------------------------
-def measure_pipeline(workers: int = 4, repeats: int = 12) -> dict:
-    """Serial vs parallel vs warm-cache resume wall times for a
-    Table-1-class experiment (see BENCH_pipeline.json)."""
-    from .experiments.pipeline import run_pipeline
+#: Same-machine pipeline ratio fields enforced by the CI ``perf-gate``
+#: (floors, like the fleet gate): the cross-instance batched kernel must
+#: keep beating the per-instance serial path.  ``speedup_parallel`` is
+#: deliberately *not* gated — it depends on the runner's core count, which
+#: is environment, not code.
+GATED_PIPELINE_RATIOS = ("speedup_batched",)
+
+
+def measure_pipeline(
+    workers: int = 4, repeats: int = 12, quick: bool = False
+) -> dict:
+    """Per-instance serial vs cross-instance batched vs sharded-parallel
+    vs warm-cache resume wall times for a Table-1-class experiment (see
+    BENCH_pipeline.json).
+
+    The recorder *refuses* to emit a record for a non-bit-identical run:
+    all four instance streams must be exactly equal and the warm resume
+    must recompute nothing, or this raises.  On a single-CPU machine the
+    parallel tier is annotated as meaningless (``single_cpu`` +
+    ``parallel_note``) and loudly flagged on stderr —
+    ``benchmarks/record_pipeline.py`` refuses outright without an
+    explicit override.
+
+    ``n_orgs=6`` puts the serial tier's per-instance REF reference on the
+    §8 ``FleetKernel`` path (63 masks >= ``KERNEL_MIN_ENGINES``), so
+    ``speedup_batched`` measures pure cross-instance amortization against
+    the *strongest* per-instance baseline, not against the engine loop.
+    """
+    import sys
+
+    from .experiments.pipeline import run_pipeline, shard_instances
     from .experiments.spec import ScenarioSpec
 
+    if quick:
+        repeats = min(repeats, 6)
     spec = ScenarioSpec(
         family="synthetic",
         traces=("LPC-EGEE",),
-        n_orgs=5,
+        n_orgs=6,
         duration=8_000,
         n_repeats=repeats,
         seed=0,
     )
-    t0 = time.perf_counter()
-    serial = run_pipeline(spec, workers=1, keep_instances=True)
-    serial_s = time.perf_counter() - t0
+    # best-of-2 on the two tiers that form the gated ratio: a single
+    # timing pass is fragile on busy machines (the parallel tier is
+    # reported raw — it is annotated, not gated)
+    serial_s = math.inf
+    for _ in range(2):
+        t0 = time.perf_counter()
+        serial = run_pipeline(
+            spec, workers=1, batch=False, keep_instances=True
+        )
+        serial_s = min(serial_s, time.perf_counter() - t0)
+
+    batched_s = math.inf
+    for _ in range(2):
+        t0 = time.perf_counter()
+        batched = run_pipeline(
+            spec, workers=1, batch=True, keep_instances=True
+        )
+        batched_s = min(batched_s, time.perf_counter() - t0)
 
     t0 = time.perf_counter()
-    parallel = run_pipeline(spec, workers=workers, keep_instances=True)
+    parallel = run_pipeline(
+        spec, workers=workers, batch=True, keep_instances=True
+    )
     parallel_s = time.perf_counter() - t0
 
     with tempfile.TemporaryDirectory() as cache_dir:
@@ -408,6 +456,8 @@ def measure_pipeline(workers: int = 4, repeats: int = 12) -> dict:
         )
         resume_s = time.perf_counter() - t0
 
+    if serial.instances != batched.instances:
+        raise AssertionError("batched run is not bit-identical to serial")
     if serial.instances != parallel.instances:
         raise AssertionError("parallel run is not bit-identical to serial")
     if serial.instances != resumed.instances:
@@ -415,7 +465,8 @@ def measure_pipeline(workers: int = 4, repeats: int = 12) -> dict:
     if resumed.computed != 0:
         raise AssertionError("warm-cache replay recomputed instances")
 
-    return {
+    shards = shard_instances(list(spec.instances()), workers)
+    payload = {
         "spec": {
             "family": spec.family,
             "traces": list(spec.traces),
@@ -426,13 +477,62 @@ def measure_pipeline(workers: int = 4, repeats: int = 12) -> dict:
         },
         "instances": len(spec.instances()),
         "workers": workers,
+        "shards": len(shards),
+        "shard_size": max(len(s) for s in shards) if shards else 0,
         "serial_seconds": round(serial_s, 2),
+        "batched_seconds": round(batched_s, 2),
         "parallel_seconds": round(parallel_s, 2),
         "resume_seconds": round(resume_s, 4),
+        "speedup_batched": round(serial_s / batched_s, 2),
         "speedup_parallel": round(serial_s / parallel_s, 2),
         "speedup_resume": round(serial_s / resume_s, 1),
+        "bit_identical": True,
+        "stage_seconds": {
+            stage: round(seconds, 4)
+            for stage, seconds in (batched.timings or {}).items()
+        },
         **machine_meta(),
     }
+    if payload["cpus"] is not None and payload["cpus"] < 2:
+        payload["single_cpu"] = True
+        payload["parallel_note"] = (
+            "recorded on a single-CPU machine: speedup_parallel measures "
+            "process-pool overhead, not parallelism; only speedup_batched "
+            "and speedup_resume are meaningful here"
+        )
+        print(
+            "bench pipeline WARNING: single-CPU machine — "
+            "speedup_parallel is not meaningful on this record",
+            file=sys.stderr,
+        )
+    return payload
+
+
+def check_pipeline_ratios(
+    measured: dict, committed_path: "str | Path", tolerance: float = 0.35
+) -> "list[str]":
+    """The pipeline perf-gate: the cross-instance batched-vs-serial
+    speedup *ratio* must not regress below the committed
+    BENCH_pipeline.json value minus the tolerance (same-machine ratio, so
+    slow runners don't flake), and the fresh measurement must carry the
+    bit-identity stamp; returns regression messages (empty = passes)."""
+    committed = json.loads(Path(committed_path).read_text())
+    problems = []
+    for field in GATED_PIPELINE_RATIOS:
+        want = committed.get(field)
+        if want is None:
+            problems.append(f"{field}: missing from {committed_path}")
+            continue
+        floor = want * (1.0 - tolerance)
+        got = measured.get(field)
+        if got is None or got < floor:
+            problems.append(
+                f"{field}: measured {got} < committed {want} - {tolerance:.0%}"
+                f" tolerance (floor {floor:.2f})"
+            )
+    if not measured.get("bit_identical", False):
+        problems.append("bit_identical: serial/batched/parallel diverged")
+    return problems
 
 
 # ----------------------------------------------------------------------
@@ -630,7 +730,7 @@ BENCHES = {
     ),
     "pipeline": (
         lambda args: measure_pipeline(
-            workers=args.workers, repeats=args.repeats
+            workers=args.workers, repeats=args.repeats, quick=args.quick
         ),
         "BENCH_pipeline.json",
     ),
@@ -661,6 +761,7 @@ def main(args: argparse.Namespace) -> int:
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
         print(json.dumps(payload, indent=2))
         checker = {"fleet": (check_fleet_ratios, GATED_RATIOS),
+                   "pipeline": (check_pipeline_ratios, GATED_PIPELINE_RATIOS),
                    "service": (check_service_ratios, GATED_SERVICE_RATIOS)}
         if name in checker and args.check_against is not None:
             check, fields = checker[name]

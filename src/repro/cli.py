@@ -62,6 +62,16 @@ def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
         "--no-resume", action="store_true",
         help="recompute even when the checkpoint already has instances",
     )
+    p.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the cross-instance batched kernel (per-instance "
+        "simulation; results are bit-identical, only slower)",
+    )
+    p.add_argument(
+        "--store-dir", default=None,
+        help="content-addressed result store directory shared across "
+        "specs: dedupes identical (workload, policy, seed) rows",
+    )
 
 
 def _policy_flag_help(intro: str) -> str:
@@ -216,13 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output JSON path (default: the bench's "
                             "canonical BENCH_*.json; ignored with 'all')")
     bench.add_argument("--quick", action="store_true",
-                       help="fleet: fewer timing rounds and no k=10 tier "
+                       help="fleet: fewer timing rounds and no k=10 tier; "
+                            "pipeline: fewer repeats "
                             "(the perf-gate configuration)")
     bench.add_argument("--check-against", default=None, metavar="FILE",
                        dest="check_against",
-                       help="fleet: exit 1 when a kernel speedup ratio "
-                            "regresses below this committed record minus "
-                            "--tolerance")
+                       help="fleet/pipeline/service: exit 1 when a gated "
+                            "same-machine ratio regresses past this "
+                            "committed record by more than --tolerance")
     bench.add_argument("--tolerance", type=float, default=0.35,
                        help="relative ratio tolerance for --check-against "
                             "(default 0.35)")
@@ -439,6 +450,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         workers=args.workers,
         cache_dir=args.cache_dir,
         resume=not args.no_resume,
+        batch=not args.no_batch,
+        store_dir=args.store_dir,
         progress=None if args.quiet else lambda line: print(line, flush=True),
     )
     print(render_pipeline(result, title=f"{args.scenario} ({spec.family})"))

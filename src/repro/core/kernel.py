@@ -42,6 +42,13 @@ built engine, dynamic machine mutation, forking) triggers
 bit-identical :class:`~repro.core.engine.ClusterEngine` and the fleet
 continues in per-engine mode.  :class:`KernelEngineView` gives read access to
 one row through the ``ClusterEngine`` API in the meantime.
+
+One level up, :class:`~repro.core.multikernel.MultiInstanceKernel`
+(DESIGN.md §10) applies the same SoA trick *across problem instances*:
+the rows of many independent single-instance simulations advance in
+jagged lockstep with per-row clocks.  It shares this module's sentinels
+and the :func:`_overflow_bound` certification arithmetic (applied per
+instance there, since its rows never mix instances).
 """
 
 from __future__ import annotations

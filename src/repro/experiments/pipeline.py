@@ -4,12 +4,31 @@
 into aggregated results with three properties the hand-rolled serial loop
 lacked:
 
-**Parallel, deterministically.**  Instances fan out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Each instance derives
-its RNGs from stable string keys (``zlib.crc32`` — identical across
-processes), and aggregation consumes results in the spec's canonical
-instance order regardless of completion order, so a ``workers=N`` run is
-**bit-identical** to the serial run (asserted in tests).
+**Parallel, deterministically.**  *Shards* of the instance list fan out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` (one task per
+shard, not per instance, so IPC+pickle overhead stops dominating small
+instances).  Each instance derives its RNGs from stable string keys
+(``zlib.crc32`` — identical across processes), and aggregation consumes
+results in the spec's canonical instance order regardless of completion
+order, so a ``workers=N`` run is **bit-identical** to the serial run
+(asserted in tests).
+
+**Batched across instances.**  Within a shard, every admissible REF
+reference run advances through one fused
+:class:`~repro.core.multikernel.MultiInstanceKernel` sweep loop
+(:func:`~repro.algorithms.multiref.ref_results_batched`) instead of one
+Python event loop per instance; inadmissible instances (small k,
+failed per-instance int64 certification) transparently fall back to the
+stock per-instance path.  ``batch=False`` forces the per-instance path
+everywhere — results are bit-identical either way (asserted in tests).
+
+**Deduplicated across specs.**  With a ``store_dir``, every scored
+portfolio row lands in a content-addressed
+:class:`~repro.experiments.store.ResultStore` keyed by the concrete
+``(workload, policy, seed, horizon, metrics)`` content — not the spec
+hash — so overlapping specs (portfolio variants, re-sliced sweeps) replay
+shared rows bit-identically instead of recomputing them, and an
+instance whose rows all hit skips even its REF reference run.
 
 **Cached, resumably.**  With a ``cache_dir``, every finished
 :class:`PipelineInstanceResult` is appended (and flushed) to a JSONL file named by
@@ -38,10 +57,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
+from ..algorithms.multiref import ref_results_batched
 from ..policies import build_scheduler
 from ..sim.runner import evaluate_portfolio
 from .registry import get_family, get_portfolio
 from .spec import InstanceSpec, ScenarioSpec
+from .store import ResultStore
 
 __all__ = [
     "PipelineInstanceResult",
@@ -50,6 +71,8 @@ __all__ = [
     "cache_path_for",
     "run_instance_spec",
     "run_pipeline",
+    "run_shard",
+    "shard_instances",
 ]
 
 #: Optional override for the spec's named portfolio (must be picklable for
@@ -147,6 +170,11 @@ class PipelineResult:
     wall_time_s: float
     cache_path: "str | None" = None
     instances: "tuple[PipelineInstanceResult, ...] | None" = None
+    #: Per-stage wall time: ``simulate`` (worker compute, including the
+    #: batched kernels), ``aggregate`` (streaming stats), ``cache_io``
+    #: (checkpoint load + append/flush) — the attribution benchmarks
+    #: record so perf regressions name their stage.
+    timings: "dict[str, float] | None" = None
 
     def groups(self) -> list["tuple[str, Variant]"]:
         return list(self.aggregates)
@@ -218,10 +246,148 @@ def run_instance_spec(
     )
 
 
-def _run_one(args) -> PipelineInstanceResult:
-    """Picklable ProcessPoolExecutor task."""
-    spec, inst, algorithms = args
-    return run_instance_spec(spec, inst, algorithms)
+#: Upper bound on instances per worker shard: large enough to amortize
+#: per-shard kernel construction and coefficient-plan reuse, small enough
+#: that the padded lockstep arrays stay cache-resident and a straggler
+#: shard cannot serialize the pool tail.
+MAX_SHARD = 32
+
+
+def shard_instances(
+    todo: "list[InstanceSpec]", workers: int
+) -> "list[tuple[InstanceSpec, ...]]":
+    """Split the work list into contiguous shards: one batched kernel and
+    one executor task per shard (replacing ``chunksize=1`` task-per-
+    instance dispatch).  Serial runs take maximal shards; parallel runs
+    aim for ~2 shards per worker so the order-preserving map keeps every
+    worker busy without per-instance IPC+pickle round trips."""
+    if not todo:
+        return []
+    if workers <= 1:
+        size = min(len(todo), MAX_SHARD)
+    else:
+        size = max(1, min(MAX_SHARD, -(-len(todo) // (workers * 2))))
+    return [tuple(todo[i : i + size]) for i in range(0, len(todo), size)]
+
+
+def run_shard(
+    spec: ScenarioSpec,
+    insts: "tuple[InstanceSpec, ...] | list[InstanceSpec]",
+    algorithms: "AlgorithmFactory | None" = None,
+    *,
+    batch: bool = True,
+    store: "ResultStore | None" = None,
+) -> list[PipelineInstanceResult]:
+    """Compute a shard of instances as one unit, bit-identically to
+    per-instance :func:`run_instance_spec` calls.
+
+    Three-stage shape: (1) probe the cross-spec result store — an
+    instance whose every portfolio row hits is assembled from stored
+    floats and skips simulation entirely; (2) run all remaining REF
+    references through one fused multi-instance kernel (``batch=True``;
+    inadmissible instances fall back per-instance, never evicting their
+    siblings); (3) score every instance through the exact same
+    :func:`evaluate_portfolio` float path as the per-instance runner,
+    writing fresh rows back to the store.  Store keys require rows with
+    stable policy identity (:meth:`ScenarioSpec.policy_rows`), so an
+    ``algorithms`` callable or bare-factory portfolio disables the store,
+    exactly like it disables the JSONL cache.
+    """
+    build = get_family(spec.family)
+    prepared = [(inst, *build(spec, inst)) for inst in insts]
+    rows = None
+    if store is not None and algorithms is None and spec.metrics:
+        rows = spec.policy_rows()
+    keys_by_inst: dict[str, list[str]] = {}
+    hit_metrics: dict[str, dict[str, dict[str, float]]] = {}
+    need_ref: list[tuple[InstanceSpec, "object"]] = []
+    for inst, workload, alg_seed in prepared:
+        if rows is not None:
+            keys = [
+                store.key_for(
+                    workload, p, alg_seed, spec.duration, spec.metrics
+                )
+                for p in rows
+            ]
+            keys_by_inst[inst.key] = keys
+            stored = [store.get(k) for k in keys]
+            if all(r is not None for r in stored):
+                assembled: dict[str, dict[str, float]] = {
+                    m: {} for m in spec.metrics
+                }
+                for r in stored:
+                    for m in spec.metrics:
+                        assembled[m][r["algorithm"]] = r["metrics"][m]
+                hit_metrics[inst.key] = assembled
+                continue
+        need_ref.append((inst, workload))
+    refs: dict[str, object] = {}
+    if need_ref:
+        if batch:
+            batched = ref_results_batched(
+                [(w, spec.duration) for _, w in need_ref]
+            )
+        else:
+            batched = [None] * len(need_ref)
+        for (inst, workload), ref_result in zip(need_ref, batched):
+            if ref_result is None:
+                ref_result = build_scheduler(
+                    "ref", horizon=spec.duration
+                ).run(workload)
+            refs[inst.key] = ref_result
+    results: list[PipelineInstanceResult] = []
+    for inst, workload, alg_seed in prepared:
+        metrics = hit_metrics.get(inst.key)
+        if metrics is None:
+            if algorithms is not None:
+                portfolio = algorithms(spec.duration, alg_seed)
+            elif spec.policies:
+                portfolio = [
+                    build_scheduler(p, seed=alg_seed, horizon=spec.duration)
+                    for p in spec.policies
+                ]
+            else:
+                portfolio = get_portfolio(spec.portfolio)(
+                    spec.duration, alg_seed
+                )
+            metrics = evaluate_portfolio(
+                workload,
+                spec.duration,
+                portfolio,
+                "ref",
+                spec.metrics,
+                reference_result=refs[inst.key],
+            )
+            if rows is not None:
+                names = list(next(iter(metrics.values()), {}))
+                # positional row <-> scored-name alignment requires
+                # distinct names; degenerate portfolios just skip storage
+                if len(names) == len(rows):
+                    for key, name in zip(keys_by_inst[inst.key], names):
+                        store.put(
+                            key,
+                            name,
+                            {m: metrics[m][name] for m in spec.metrics},
+                        )
+        results.append(
+            PipelineInstanceResult(
+                key=inst.key,
+                trace=inst.trace,
+                repeat=inst.repeat,
+                variant=inst.variant,
+                metrics=metrics,
+                n_jobs=len(workload.jobs),
+                n_machines=workload.n_machines,
+            )
+        )
+    return results
+
+
+def _run_shard(args) -> list[PipelineInstanceResult]:
+    """Picklable ProcessPoolExecutor task (one per shard)."""
+    spec, insts, algorithms, batch, store_dir = args
+    store = ResultStore(store_dir) if store_dir is not None else None
+    return run_shard(spec, insts, algorithms, batch=batch, store=store)
 
 
 def _compute_stream(
@@ -229,19 +395,29 @@ def _compute_stream(
     todo: "list[InstanceSpec]",
     workers: int,
     algorithms: "AlgorithmFactory | None",
+    batch: bool,
+    store_dir: "str | Path | None",
 ) -> Iterator[PipelineInstanceResult]:
     """Yield fresh results in ``todo`` order (parallel computation happens
-    behind an order-preserving ``Executor.map``)."""
-    if workers <= 1 or len(todo) <= 1:
-        for inst in todo:
-            yield run_instance_spec(spec, inst, algorithms)
+    behind an order-preserving ``Executor.map`` over shards)."""
+    shards = shard_instances(todo, workers)
+    if workers <= 1 or len(shards) <= 1:
+        store = ResultStore(store_dir) if store_dir is not None else None
+        for shard in shards:
+            yield from run_shard(
+                spec, shard, algorithms, batch=batch, store=store
+            )
         return
-    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as ex:
-        yield from ex.map(
-            _run_one,
-            ((spec, inst, algorithms) for inst in todo),
+    with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as ex:
+        for shard_results in ex.map(
+            _run_shard,
+            (
+                (spec, shard, algorithms, batch, store_dir)
+                for shard in shards
+            ),
             chunksize=1,
-        )
+        ):
+            yield from shard_results
 
 
 def _load_cache(path: Path) -> dict[str, PipelineInstanceResult]:
@@ -273,6 +449,8 @@ def run_pipeline(
     keep_instances: bool = False,
     algorithms: "AlgorithmFactory | None" = None,
     progress: "Callable[[str], None] | None" = None,
+    batch: bool = True,
+    store_dir: "str | Path | None" = None,
 ) -> PipelineResult:
     """Execute every instance of ``spec`` and aggregate.
 
@@ -291,21 +469,34 @@ def run_pipeline(
         Retain per-instance results on the returned object (memory then
         grows with instance count; aggregation itself stays streaming).
     algorithms:
-        Optional portfolio override (callable).  Disables the cache — a
-        callable has no stable content hash to key it by.
+        Optional portfolio override (callable).  Disables the cache and
+        the result store — a callable has no stable content hash to key
+        either by.
     progress:
         Called with one short line per finished instance.
+    batch:
+        Advance each shard's REF references through one fused
+        multi-instance kernel (``False`` forces the per-instance path;
+        results are bit-identical either way).
+    store_dir:
+        Directory of the cross-spec content-addressed
+        :class:`~repro.experiments.store.ResultStore`.  Unlike
+        ``cache_dir`` (keyed by spec hash) it dedupes shared
+        ``(workload, policy, seed)`` rows across *different* specs.
     """
     started = time.perf_counter()
+    timings = {"simulate": 0.0, "aggregate": 0.0, "cache_io": 0.0}
     instances = spec.instances()
     cache_file: "Path | None" = None
     cached: dict[str, PipelineInstanceResult] = {}
     if cache_dir is not None and algorithms is None:
         cache_file = cache_path_for(spec, cache_dir)
         if resume:
+            t0 = time.perf_counter()
             cached = _load_cache(cache_file)
+            timings["cache_io"] += time.perf_counter() - t0
     todo = [inst for inst in instances if inst.key not in cached]
-    fresh = _compute_stream(spec, todo, workers, algorithms)
+    fresh = _compute_stream(spec, todo, workers, algorithms, batch, store_dir)
 
     aggregates: dict[
         "tuple[str, Variant]", dict[str, dict[str, StreamingStats]]
@@ -323,19 +514,25 @@ def run_pipeline(
                 result = cached[inst.key]
                 n_cached += 1
             else:
+                t0 = time.perf_counter()
                 result = next(fresh)
+                timings["simulate"] += time.perf_counter() - t0
                 n_computed += 1
                 if sink is not None:
+                    t0 = time.perf_counter()
                     sink.write(
                         json.dumps(result.to_json(), separators=(",", ":"))
                         + "\n"
                     )
                     sink.flush()
+                    timings["cache_io"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
             group = aggregates.setdefault((result.trace, result.variant), {})
             for metric, per_alg in result.metrics.items():
                 cells = group.setdefault(metric, {})
                 for alg, value in per_alg.items():
                     cells.setdefault(alg, StreamingStats()).push(value)
+            timings["aggregate"] += time.perf_counter() - t0
             if keep_instances:
                 kept.append(result)
             if progress is not None:
@@ -363,4 +560,5 @@ def run_pipeline(
         wall_time_s=time.perf_counter() - started,
         cache_path=str(cache_file) if cache_file is not None else None,
         instances=tuple(kept) if keep_instances else None,
+        timings=timings,
     )

@@ -222,6 +222,21 @@ class ScenarioSpec:
                 return v
         return default
 
+    def policy_rows(self) -> "tuple[PolicySpec, ...] | None":
+        """The spec's portfolio as concrete :class:`PolicySpec` rows, or
+        ``None`` when it resolves to a bare factory with no stable policy
+        identity.  This is what keys the cross-spec result store: two
+        specs that differ only in portfolio *naming* share rows whenever
+        the underlying ``(workload, policy, seed)`` triples coincide.
+        (New hash-relevant fields must follow the migration rule in
+        :meth:`content_hash`; this method adds none.)
+        """
+        if self.policies:
+            return self.policies
+        from .registry import PORTFOLIO_SPECS
+
+        return PORTFOLIO_SPECS.get(self.portfolio)
+
     # ------------------------------------------------------------------
     # instance enumeration
     # ------------------------------------------------------------------

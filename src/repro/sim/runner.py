@@ -72,6 +72,7 @@ def evaluate_portfolio(
     members: Iterable[int] | None = None,
     *,
     seed: int = 0,
+    reference_result: "SchedulerResult | None" = None,
 ) -> dict[str, dict[str, float]]:
     """Score every algorithm against ``reference`` under every named metric.
 
@@ -80,13 +81,20 @@ def evaluate_portfolio(
     once, each algorithm runs once, and the result is
     ``{metric: {algorithm: value}}``.  Policy-like entries resolve with
     ``horizon=t_end`` and ``seed``.
+
+    ``reference_result`` short-circuits the reference run with an
+    already-computed result (the batched pipeline computes many REF
+    references in one fused kernel and scores each instance through this
+    same float path, keeping batched == serial bit-identical).
     """
     unknown = [m for m in metrics if m not in METRICS]
     if unknown:
         raise KeyError(f"unknown metrics {unknown}; available: {sorted(METRICS)}")
-    ref_result = as_scheduler(reference, seed=seed, horizon=t_end).run(
-        workload, members
-    )
+    ref_result = reference_result
+    if ref_result is None:
+        ref_result = as_scheduler(reference, seed=seed, horizon=t_end).run(
+            workload, members
+        )
     out: dict[str, dict[str, float]] = {m: {} for m in metrics}
     for alg in algorithms:
         result = as_scheduler(alg, seed=seed, horizon=t_end).run(

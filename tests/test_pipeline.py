@@ -10,12 +10,16 @@ import numpy as np
 import pytest
 
 from repro.experiments.pipeline import (
+    MAX_SHARD,
     PipelineInstanceResult,
     StreamingStats,
     cache_path_for,
     run_instance_spec,
     run_pipeline,
+    run_shard,
+    shard_instances,
 )
+from repro.experiments.store import ResultStore
 from repro.experiments.registry import (
     FAMILIES,
     PORTFOLIOS,
@@ -425,3 +429,145 @@ class TestChurnFamily:
             expected = run_instance(wl, duration, algs)
             for alg, val in expected.items():
                 assert series[alg][xi] == val
+
+
+class TestBatchedPipeline:
+    """Serial == sharded-batched == parallel bit-identity for every
+    registered scenario family, with k >= 5 so the cross-instance fused
+    kernel actually engages (and mixed-k sweeps exercise the per-instance
+    fallback next to batched siblings)."""
+
+    def _assert_three_way(self, spec):
+        serial = run_pipeline(spec, batch=False, keep_instances=True)
+        batched = run_pipeline(spec, batch=True, keep_instances=True)
+        parallel = run_pipeline(
+            spec, batch=True, workers=2, keep_instances=True
+        )
+        assert serial.instances == batched.instances
+        assert serial.instances == parallel.instances
+        assert serial.aggregates == batched.aggregates == parallel.aggregates
+        return serial
+
+    def test_synthetic_family(self):
+        spec = tiny_spec(n_orgs=5)
+        # the batched path must actually engage for this spec
+        from repro.algorithms.multiref import batchable
+
+        build = get_family(spec.family)
+        wl, _ = build(spec, spec.instances()[0])
+        assert batchable(wl, spec.duration)
+        self._assert_three_way(spec)
+
+    def test_swf_family(self):
+        spec = dataclasses.replace(
+            scenario_spec("swf", swf_path=str(TINY_SWF)),
+            traces=("tiny",), n_orgs=5, duration=400, n_repeats=2,
+            portfolio="fast",
+        )
+        self._assert_three_way(spec)
+
+    def test_federated_family(self):
+        spec = dataclasses.replace(
+            scenario_spec("federated"),
+            n_orgs=5, duration=600, n_repeats=2, portfolio="fast",
+            metrics=("avg_delay",),
+        )
+        self._assert_three_way(spec)
+
+    def test_churn_family_mixed_k(self):
+        # k=3 rides the per-instance fallback, k=5 the batched kernel --
+        # in the same shard
+        spec = tiny_spec(
+            family="churn", org_counts=(3, 5), n_repeats=1, duration=500,
+            portfolio="fast",
+        )
+        self._assert_three_way(spec)
+
+    def test_shard_sizing(self):
+        todo = list(range(100))
+        serial_shards = shard_instances(todo, 1)
+        assert [len(s) for s in serial_shards[:-1]] == [MAX_SHARD] * 3
+        assert [x for s in serial_shards for x in s] == todo
+        par_shards = shard_instances(todo, 4)
+        assert len(par_shards) >= 8  # ~2 shards per worker
+        assert [x for s in par_shards for x in s] == todo
+        assert shard_instances([], 4) == []
+        assert [len(s) for s in shard_instances(todo[:3], 4)] == [1, 1, 1]
+
+
+class TestResultStore:
+    def test_cross_spec_dedupe_bit_identical(self, tmp_path):
+        """Rows stored by one spec replay bit-identically into a
+        different spec that shares (workload, policy, seed) triples."""
+        base = dict(
+            family="synthetic", traces=("LPC-EGEE",), n_orgs=5,
+            duration=600, n_repeats=2, scale=0.08, seed=3,
+        )
+        warm_spec = ScenarioSpec(**base, portfolio="fast")
+        sub_spec = ScenarioSpec(**base, policies=("fairshare",))
+        warm = run_pipeline(warm_spec, store_dir=tmp_path, keep_instances=True)
+        fresh = run_pipeline(sub_spec, keep_instances=True)
+        via_store = run_pipeline(
+            sub_spec, store_dir=tmp_path, keep_instances=True
+        )
+        assert via_store.instances == fresh.instances
+        assert via_store.aggregates == fresh.aggregates
+        # and the hits were real: a direct shard run skips all simulation
+        store = ResultStore(tmp_path)
+        shard_results = run_shard(sub_spec, sub_spec.instances(), store=store)
+        assert store.hits == len(sub_spec.instances())
+        assert [r.metrics for r in shard_results] == [
+            r.metrics for r in fresh.instances
+        ]
+        # the fully-warm store also serves the original spec untouched
+        assert (
+            run_pipeline(
+                warm_spec, store_dir=tmp_path, keep_instances=True
+            ).instances
+            == warm.instances
+        )
+
+    def test_store_resume_zero_recompute(self, tmp_path):
+        spec = tiny_spec(n_orgs=5, portfolio="fast")
+        first = run_pipeline(spec, store_dir=tmp_path, keep_instances=True)
+        rows_after_first = len(ResultStore(tmp_path))
+        assert rows_after_first == len(spec.instances()) * 3  # fast = 3 rows
+        again = run_pipeline(spec, store_dir=tmp_path, keep_instances=True)
+        assert again.instances == first.instances
+        assert len(ResultStore(tmp_path)) == rows_after_first  # no growth
+        store = ResultStore(tmp_path)
+        run_shard(spec, spec.instances(), store=store)
+        assert store.misses == 0
+
+    def test_store_and_jsonl_cache_compose(self, tmp_path):
+        spec = tiny_spec(n_orgs=5, portfolio="fast")
+        plain = run_pipeline(spec, keep_instances=True)
+        cached = run_pipeline(
+            spec, cache_dir=tmp_path / "cache", store_dir=tmp_path / "store",
+            keep_instances=True,
+        )
+        assert cached.instances == plain.instances
+        resumed = run_pipeline(
+            spec, cache_dir=tmp_path / "cache", store_dir=tmp_path / "store",
+            keep_instances=True,
+        )
+        assert resumed.computed == 0
+        assert resumed.instances == plain.instances
+
+    def test_callable_algorithms_disable_store(self, tmp_path):
+        from repro.experiments.registry import PORTFOLIOS
+
+        spec = tiny_spec(n_orgs=5)
+        run_pipeline(
+            spec, store_dir=tmp_path, algorithms=PORTFOLIOS["fast"],
+        )
+        assert not (tmp_path / "results.jsonl").exists()
+
+    def test_junk_lines_skipped(self, tmp_path):
+        spec = tiny_spec(n_orgs=5, portfolio="fast")
+        first = run_pipeline(spec, store_dir=tmp_path, keep_instances=True)
+        path = tmp_path / "results.jsonl"
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"torn": ')  # killed mid-write
+        replay = run_pipeline(spec, store_dir=tmp_path, keep_instances=True)
+        assert replay.instances == first.instances
