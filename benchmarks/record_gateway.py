@@ -1,0 +1,47 @@
+"""Record sharded multi-tenant gateway throughput (thin wrapper).
+
+The recorder lives in :mod:`repro.bench` behind ``repro bench gateway``;
+this script is the matching historical-style entry point::
+
+    PYTHONPATH=src python benchmarks/record_gateway.py \
+        [--output BENCH_gateway.json] [--quick]
+
+The full record drives the ISSUE 8 acceptance instance -- 100k+ submit
+events across 64 tenants on 2 worker processes, checkpointed under load
+mid-stream -- plus smaller per-policy tiers and a SIGKILL/restore
+recovery run.  Every tier re-verifies the fleet's per-shard output
+against the batch scheduler before recording (a throughput number for a
+wrong schedule would be meaningless), and the gated
+``ratio_gateway_over_inproc`` tax compares two bit-identical code paths
+timed on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import main as bench_main  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+        ),
+    )
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check-against", dest="check_against", default=None)
+    parser.add_argument("--tolerance", type=float, default=0.35)
+    args = parser.parse_args()
+    args.bench = "gateway"
+    return bench_main(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

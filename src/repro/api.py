@@ -34,7 +34,11 @@ Layers (see DESIGN.md §7 for the policy registry / capability model):
 * **experiments** — :class:`ScenarioSpec`, :func:`run_pipeline`, the
   scenario/portfolio/family registries;
 * **online serving** — :class:`ClusterService`, :class:`OnlinePolicy`,
-  :class:`ReplayDriver`, :func:`replay_scenario`, snapshot I/O.
+  :class:`ReplayDriver`, :func:`replay_scenario`, snapshot I/O;
+* **gateway fleet** — :class:`Gateway`, :class:`GatewayConfig`,
+  :class:`TenantSpec`, :class:`AdmissionController`,
+  :class:`AdmissionError`, :class:`LoadSpec`, :func:`run_loadgen`
+  (DESIGN.md §11: the sharded multi-tenant front door).
 """
 
 from __future__ import annotations
@@ -52,6 +56,16 @@ from .core import (
     kernel_certified,
 )
 from .experiments.pipeline import PipelineResult, run_pipeline
+from .gateway import (
+    AdmissionController,
+    AdmissionError,
+    Gateway,
+    GatewayConfig,
+    LoadReport,
+    LoadSpec,
+    TenantSpec,
+    run_loadgen,
+)
 from .experiments.registry import (
     PORTFOLIO_SPECS,
     Scenario,
@@ -100,14 +114,20 @@ from .sim.runner import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
     "CapabilityError",
     "ClusterEngine",
     "ClusterService",
     "CoalitionFleet",
     "ENTRY_POINT_GROUP",
     "FleetKernel",
+    "Gateway",
+    "GatewayConfig",
     "InstanceSpec",
     "Job",
+    "LoadReport",
+    "LoadSpec",
     "METRICS",
     "OnlinePolicy",
     "Organization",
@@ -128,6 +148,7 @@ __all__ = [
     "ScheduledJob",
     "Scheduler",
     "SchedulerResult",
+    "TenantSpec",
     "UnknownPolicyError",
     "Workload",
     "as_scheduler",
@@ -149,6 +170,7 @@ __all__ = [
     "register_scenario",
     "replay_scenario",
     "resolve_policy",
+    "run_loadgen",
     "run_pipeline",
     "run_schedule",
     "save_snapshot",

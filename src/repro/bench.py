@@ -53,8 +53,11 @@ __all__ = [
     "measure_fleet",
     "measure_pipeline",
     "measure_service",
+    "measure_gateway",
     "check_fleet_ratios",
     "check_pipeline_ratios",
+    "check_service_ratios",
+    "check_gateway_ratios",
     "main",
 ]
 
@@ -720,6 +723,222 @@ def check_service_ratios(
 
 
 # ----------------------------------------------------------------------
+# gateway bench (PR 8: the sharded multi-tenant fleet)
+# ----------------------------------------------------------------------
+#: Same-machine gateway *ratio* fields enforced by the CI ``perf-gate``
+#: (a cost ceiling, like the service gate): the subprocess fleet's
+#: per-event cost over the identical in-process shard computation -- the
+#: pipe/JSON/dispatch tax -- must not grow past the committed value plus
+#: the tolerance.  Absolute events/sec is environment; the tax is code.
+GATED_GATEWAY_RATIOS = ("ratio_gateway_over_inproc",)
+
+#: (record key, policy, tenants, shards, events, releases, horizon,
+#:  quick-mode events) -- the per-policy gateway tiers.  The fifo tier is
+#: the ISSUE 8 acceptance instance: >= 100k events across >= 64 tenants
+#: on >= 2 worker processes, checkpointed under load mid-stream.
+GATEWAY_RUNS = (
+    ("fifo_k64", "fifo", 64, 8, 100_000, 250, None, 3_000),
+    ("directcontr_k64", "directcontr", 64, 8, 10_000, 100, None, 1_500),
+    ("ref_k16", "ref", 16, 4, 2_000, 50, 400, 800),
+)
+
+
+def _inproc_shard_baseline(config, stream) -> "tuple[float, dict]":
+    """The same sharded computation without the gateway: in-process
+    ``ClusterService`` shards fed the identical admitted stream in the
+    identical order.  Returns (wall seconds, per-shard digests) -- the
+    digests must match the fleet's, making the tax ratio a comparison of
+    two bit-identical code paths."""
+    from itertools import groupby
+
+    from .service import ClusterService
+    from .service.snapshot import schedule_digest
+
+    shards = {
+        s: ClusterService(
+            config.shard_machine_counts(s),
+            config.policy,
+            seed=config.shard_seed(s),
+            horizon=config.horizon,
+        )
+        for s in config.shard_ids()
+    }
+    routes = config.routes
+    t0 = time.perf_counter()
+    for release, group in groupby(stream, key=lambda e: e[0]):
+        for _, tenant, size in group:
+            shard, org = routes[tenant]
+            shards[shard].submit(org, size, release=release)
+        for svc in shards.values():
+            svc.advance(release)
+    for svc in shards.values():
+        svc.drain()
+    wall = time.perf_counter() - t0
+    digests = {
+        s: schedule_digest(svc.schedule()) for s, svc in shards.items()
+    }
+    return wall, digests
+
+
+def measure_gateway(quick: bool = False) -> dict:
+    """The BENCH_gateway.json payload: per-policy fleet tiers (aggregate
+    events/sec, ingest p50/p99, snapshot-under-load cost), the
+    kill/restore recovery stamp, and the gated gateway-over-inproc tax
+    ratio.  Refuses to record any tier whose fleet output is not
+    bit-identical to the per-shard batch scheduler -- and whose fifo tier
+    is not bit-identical to the in-process shard baseline."""
+    from .gateway import Gateway, GatewayConfig, LoadSpec, generate_stream
+    from .gateway import run_loadgen
+
+    runs: dict = {}
+    for key, policy, tenants, shards, events, releases, horizon, q_events \
+            in GATEWAY_RUNS:
+        n_events = q_events if quick else events
+        n_releases = max(10, releases if not quick else releases // 2)
+        config = GatewayConfig.uniform(
+            tenants,
+            machines=1,
+            n_workers=2,
+            n_shards=shards,
+            policy=policy,
+            seed=0,
+            horizon=horizon,
+        )
+        spec = LoadSpec(
+            n_events=n_events, n_releases=n_releases, max_size=5, seed=0
+        )
+        with tempfile.TemporaryDirectory() as snap_dir:
+            with Gateway(config, snapshot_dir=snap_dir) as gw:
+                report = run_loadgen(
+                    gw, spec, snapshot_at_release=n_releases // 2
+                )
+        if not report.verified:
+            raise SystemExit(
+                f"{key}: fleet != per-shard batch -- refusing to record a "
+                f"throughput number for a wrong schedule"
+            )
+        runs[key] = {
+            "policy": policy,
+            "tenants": tenants,
+            "workers": config.n_workers,
+            "shards": report.n_shards,
+            "events": report.n_events,
+            "events_per_sec": round(report.events_per_sec, 1),
+            "ingest_p50_ms": report.p50_ms,
+            "ingest_p99_ms": report.p99_ms,
+            "snapshot_under_load_s": round(report.snapshot_under_load_s, 4),
+            "verified": report.verified,
+            "config_hash": report.config_hash,
+        }
+    # the gated tax ratio runs on a fixed-size probe identical in quick
+    # and full mode, so the quick-mode perf-gate measures the same
+    # instance the committed full record measured
+    probe_config = GatewayConfig.uniform(
+        64, machines=1, n_workers=2, n_shards=8, policy="fifo", seed=0
+    )
+    probe_spec = LoadSpec(n_events=3_000, n_releases=60, max_size=5, seed=2)
+    probe_stream = generate_stream(probe_config, probe_spec)
+    # best-of-2 on both legs: a single pass is fragile on busy machines
+    probe = None
+    for _ in range(2):
+        with Gateway(probe_config) as gw:
+            attempt = run_loadgen(gw, stream=probe_stream)
+        if not attempt.verified:
+            raise SystemExit(
+                "tax probe: fleet != batch -- refusing to record"
+            )
+        if probe is None or attempt.wall_time_s < probe.wall_time_s:
+            probe = attempt
+    inproc_wall = math.inf
+    for _ in range(2):
+        wall, inproc_digests = _inproc_shard_baseline(
+            probe_config, probe_stream
+        )
+        if inproc_digests != probe.shard_digests:
+            raise SystemExit(
+                "inproc baseline != fleet -- refusing to record a tax "
+                "ratio over divergent schedules"
+            )
+        inproc_wall = min(inproc_wall, wall)
+    ratio = round(probe.wall_time_s / inproc_wall, 2)
+    tax_probe = {
+        "events": probe.n_events,
+        "gateway_seconds": round(probe.wall_time_s, 4),
+        "inproc_seconds": round(inproc_wall, 4),
+        "verified": probe.verified,
+    }
+
+    # the crash story, stamped into the record: SIGKILL worker 0
+    # mid-stream, restore from checkpoint + WAL, verify bit-identity
+    config = GatewayConfig.uniform(
+        16, machines=1, n_workers=2, n_shards=4, policy="fifo", seed=1
+    )
+    spec = LoadSpec(
+        n_events=800 if quick else 5_000, n_releases=40, max_size=5, seed=1
+    )
+    with tempfile.TemporaryDirectory() as snap_dir:
+        with Gateway(config, snapshot_dir=snap_dir) as gw:
+            t0 = time.perf_counter()
+            recovery = run_loadgen(
+                gw,
+                spec,
+                snapshot_at_release=12,
+                kill_worker_at_release=25,
+            )
+            recovery_wall = time.perf_counter() - t0
+            restores = gw.pool.restores
+    if not recovery.verified or restores != 1:
+        raise SystemExit(
+            "kill/restore run is not bit-identical -- refusing to record"
+        )
+
+    return {
+        "bench": "gateway",
+        "runs": runs,
+        "tax_probe": tax_probe,
+        "ratio_gateway_over_inproc": ratio,
+        "recovery": {
+            "events": recovery.n_events,
+            "kill_restore_verified": recovery.verified,
+            "worker_restores": restores,
+            "wall_time_s": round(recovery_wall, 4),
+        },
+        **machine_meta(),
+    }
+
+
+def check_gateway_ratios(
+    measured: dict, committed_path: "str | Path", tolerance: float = 0.35
+) -> "list[str]":
+    """The gateway perf-gate: the pipe/dispatch tax *ratio* must not grow
+    past the committed BENCH_gateway.json value plus the tolerance (a
+    cost, so the gated direction is a ceiling, like the service gate),
+    every tier must carry its bit-identity stamp, and the kill/restore
+    recovery stamp must hold; returns regression messages (empty =
+    passes)."""
+    committed = json.loads(Path(committed_path).read_text())
+    problems = []
+    for field in GATED_GATEWAY_RATIOS:
+        want = committed.get(field)
+        if want is None:
+            problems.append(f"{field}: missing from {committed_path}")
+            continue
+        ceiling = want * (1.0 + tolerance)
+        got = measured.get(field)
+        if got is None or got > ceiling:
+            problems.append(
+                f"{field}: measured {got} > committed {want} + "
+                f"{tolerance:.0%} tolerance (ceiling {ceiling:.2f})"
+            )
+    for key, run in measured.get("runs", {}).items():
+        if not run.get("verified", False):
+            problems.append(f"{key}: verified is not true")
+    if not measured.get("recovery", {}).get("kill_restore_verified", False):
+        problems.append("recovery: kill_restore_verified is not true")
+    return problems
+
+
+# ----------------------------------------------------------------------
 # registry + CLI plumbing
 # ----------------------------------------------------------------------
 #: name -> (measure callable taking the CLI namespace, default output file)
@@ -737,6 +956,10 @@ BENCHES = {
     "service": (
         lambda args: measure_service(n_jobs=args.jobs, quick=args.quick),
         "BENCH_service.json",
+    ),
+    "gateway": (
+        lambda args: measure_gateway(quick=args.quick),
+        "BENCH_gateway.json",
     ),
 }
 
@@ -762,7 +985,8 @@ def main(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         checker = {"fleet": (check_fleet_ratios, GATED_RATIOS),
                    "pipeline": (check_pipeline_ratios, GATED_PIPELINE_RATIOS),
-                   "service": (check_service_ratios, GATED_SERVICE_RATIOS)}
+                   "service": (check_service_ratios, GATED_SERVICE_RATIOS),
+                   "gateway": (check_gateway_ratios, GATED_GATEWAY_RATIOS)}
         if name in checker and args.check_against is not None:
             check, fields = checker[name]
             problems = check(payload, args.check_against, args.tolerance)

@@ -213,13 +213,93 @@ def build_parser() -> argparse.ArgumentParser:
                           "is older than MS milliseconds (checked after each "
                           "command; default: no time bound)")
 
+    gwp = sub.add_parser(
+        "gateway",
+        help="run the sharded multi-tenant gateway: one JSONL daemon "
+             "fronting a fleet of ClusterService shards across worker "
+             "processes",
+    )
+    gwp.add_argument("--workers", type=int, default=2,
+                     help="worker processes (process-per-core; default 2)")
+    gwp.add_argument("--shards", type=int, default=4,
+                     help="shard count (>= workers; default 4)")
+    gwp.add_argument("--tenants", type=int, default=8,
+                     help="uniform tenant roster size t0..tN-1 (default 8)")
+    gwp.add_argument("--machines", type=int, default=1,
+                     help="machines contributed per tenant (default 1)")
+    gwp.add_argument("--policy", default="fifo",
+                     help=_policy_flag_help("per-shard policy"))
+    gwp.add_argument("--seed", type=int, default=0,
+                     help="base seed (shard s runs seed+s)")
+    gwp.add_argument("--horizon", type=int, default=None)
+    gwp.add_argument("--rate", type=float, default=None,
+                     help="per-tenant token-bucket rate (jobs per time unit "
+                          "of the gateway clock; default: unlimited)")
+    gwp.add_argument("--burst", type=float, default=None,
+                     help="token-bucket capacity (default: max(rate, 1))")
+    gwp.add_argument("--credits", type=int, default=None,
+                     help="per-tenant work budget in size units "
+                          "(default: unlimited)")
+    gwp.add_argument("--batch-max", type=int, default=None, dest="batch_max",
+                     help="per-shard micro-batch ingest bound (see serve)")
+    gwp.add_argument("--batch-linger-ms", type=float, default=None,
+                     dest="batch_linger_ms",
+                     help="per-shard ingest linger bound (see serve)")
+    gwp.add_argument("--snapshot-dir", default=None, dest="snapshot_dir",
+                     metavar="DIR",
+                     help="fleet checkpoint directory (enables the snapshot "
+                          "op, crash recovery, and shutdown checkpoints)")
+    gwp.add_argument("--stats-every", type=float, default=None,
+                     dest="stats_every", metavar="SECONDS",
+                     help="emit a periodic fleet stats line to stderr")
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive a deterministic multi-tenant event storm through a "
+             "gateway fleet and verify fleet == batch per shard",
+    )
+    lg.add_argument("--events", type=int, default=100_000,
+                    help="submit events to offer (default 100000)")
+    lg.add_argument("--tenants", type=int, default=64,
+                    help="tenant roster size (default 64)")
+    lg.add_argument("--releases", type=int, default=250,
+                    help="distinct release times (default 250)")
+    lg.add_argument("--max-size", type=int, default=6, dest="max_size",
+                    help="job sizes drawn uniformly from 1..N (default 6)")
+    lg.add_argument("--workers", type=int, default=2)
+    lg.add_argument("--shards", type=int, default=8)
+    lg.add_argument("--machines", type=int, default=1)
+    lg.add_argument("--policy", default="fifo",
+                    help=_policy_flag_help("per-shard policy"))
+    lg.add_argument("--seed", type=int, default=0,
+                    help="stream and policy seed")
+    lg.add_argument("--horizon", type=int, default=None)
+    lg.add_argument("--rate", type=float, default=None,
+                    help="per-tenant admission rate limit")
+    lg.add_argument("--burst", type=float, default=None)
+    lg.add_argument("--credits", type=int, default=None,
+                    help="per-tenant work budget")
+    lg.add_argument("--snapshot-at", type=int, default=None,
+                    dest="snapshot_at", metavar="RELEASE",
+                    help="checkpoint the fleet mid-stream at this release "
+                         "(records the snapshot-under-load cost)")
+    lg.add_argument("--kill-at", type=int, default=None, dest="kill_at",
+                    metavar="RELEASE",
+                    help="SIGKILL worker 0 mid-stream at this release and "
+                         "restore it (requires --snapshot-at earlier, or "
+                         "recovery replays the whole WAL)")
+    lg.add_argument("--no-verify", action="store_true",
+                    help="skip the per-shard batch-equivalence check")
+    lg.add_argument("--progress", action="store_true",
+                    help="print a stats line per release group to stderr")
+
     bench = sub.add_parser(
         "bench",
         help="record the BENCH_*.json benchmark trajectories "
              "(fleet kernel speedups, pipeline fan-out, service throughput)",
     )
     bench.add_argument(
-        "bench", choices=("fleet", "pipeline", "service", "all"),
+        "bench", choices=("fleet", "pipeline", "service", "gateway", "all"),
         help="which trajectory to record (all: every registered bench)",
     )
     bench.add_argument("--output", default=None,
@@ -489,7 +569,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ClusterService
-    from .service.daemon import serve_loop
+    from .service.daemon import (
+        ShutdownRequested,
+        install_shutdown_handlers,
+        serve_loop,
+    )
     from .service.snapshot import load_snapshot
 
     if args.batch_max < 0:
@@ -517,14 +601,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
         flush=True,
     )
-    serve_loop(
-        service,
-        sys.stdin,
-        sys.stdout,
-        snapshot_to=args.snapshot_to,
-        batch_linger_ms=args.batch_linger_ms,
-    )
+    install_shutdown_handlers()
+    try:
+        serve_loop(
+            service,
+            sys.stdin,
+            sys.stdout,
+            snapshot_to=args.snapshot_to,
+            batch_linger_ms=args.batch_linger_ms,
+        )
+    except ShutdownRequested as sd:
+        # supervisor kill: serve_loop's finally already wrote the
+        # --snapshot-to checkpoint, so this exit is fully recoverable
+        print(f"graceful shutdown ({sd})", file=sys.stderr, flush=True)
     return 0
+
+
+def _gateway_config(args: argparse.Namespace) -> "object":
+    from .gateway import GatewayConfig
+
+    return GatewayConfig.uniform(
+        args.tenants,
+        machines=args.machines,
+        rate=args.rate,
+        burst=args.burst,
+        credits=args.credits,
+        n_workers=args.workers,
+        n_shards=args.shards,
+        policy=args.policy,
+        seed=args.seed,
+        horizon=args.horizon,
+        batch_max=getattr(args, "batch_max", None),
+        batch_linger_ms=getattr(args, "batch_linger_ms", None),
+    )
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from .gateway import Gateway, gateway_serve_loop
+    from .service.daemon import install_shutdown_handlers
+
+    if args.shards < args.workers:
+        print("--shards must be >= --workers", file=sys.stderr)
+        return 2
+    config = _gateway_config(args)
+    install_shutdown_handlers()
+    with Gateway(config, snapshot_dir=args.snapshot_dir) as gw:
+        print(
+            f"gateway {config.content_hash()}: "
+            f"{gw.pool.n_live_workers} workers / "
+            f"{len(config.shard_ids())} shards / "
+            f"{len(config.tenants)} tenants, policy={config.policy} "
+            '(one JSON command per line; {"op": "stop"} or EOF ends)',
+            file=sys.stderr,
+            flush=True,
+        )
+        gateway_serve_loop(
+            gw,
+            sys.stdin,
+            sys.stdout,
+            stats_every_s=args.stats_every,
+            stats_out=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .gateway import Gateway, LoadSpec, run_loadgen
+
+    if args.shards < args.workers:
+        print("--shards must be >= --workers", file=sys.stderr)
+        return 2
+    config = _gateway_config(args)
+    spec = LoadSpec(
+        n_events=args.events,
+        n_releases=args.releases,
+        max_size=args.max_size,
+        seed=args.seed,
+    )
+    progress = (
+        (lambda line: print(line, file=sys.stderr, flush=True))
+        if args.progress
+        else None
+    )
+    snapshot_dir = None
+    if args.snapshot_at is not None or args.kill_at is not None:
+        import tempfile
+
+        snapshot_dir = tempfile.mkdtemp(prefix="repro-gateway-")
+    with Gateway(config, snapshot_dir=snapshot_dir) as gw:
+        report = run_loadgen(
+            gw,
+            spec,
+            snapshot_at_release=args.snapshot_at,
+            kill_worker_at_release=args.kill_at,
+            verify=not args.no_verify,
+            progress=progress,
+        )
+    print(report.summary())
+    return 0 if report.verified in (True, None) else 1
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -553,6 +727,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_replay(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "gateway":
+        return _cmd_gateway(args)
+    elif args.command == "loadgen":
+        return _cmd_loadgen(args)
     elif args.command == "bench":
         from .bench import main as bench_main
 

@@ -1,0 +1,60 @@
+"""Sharded multi-tenant gateway: one daemon fronting a ClusterService fleet.
+
+The PR 8 subsystem (ISSUE 8, DESIGN.md §11).  One :class:`Gateway`
+process multiplexes many independent :class:`~repro.service.
+ClusterService` shards across process-per-core workers:
+
+* :mod:`~repro.gateway.routing` -- deterministic ``tenant -> shard ->
+  worker`` placement (stable SHA-256 hash, round-robin), derivable by any
+  config holder.
+* :mod:`~repro.gateway.config` -- the content-hashed
+  :class:`GatewayConfig` / :class:`TenantSpec` roster.
+* :mod:`~repro.gateway.admission` -- per-tenant token-bucket rate limits
+  and credit budgets at the ingest door, with typed in-band errors.
+* :mod:`~repro.gateway.worker` -- the shard host process (the single
+  daemon's JSONL loop multiplexed over its shards, command handling
+  verbatim).
+* :mod:`~repro.gateway.gateway` -- :class:`ShardPool` (pipes, pipelining,
+  WAL, checkpoint, kill/restore) and the tenant-facing :class:`Gateway`.
+* :mod:`~repro.gateway.loadgen` -- the deterministic event storm and the
+  per-shard fleet == batch digest verification.
+"""
+
+from .admission import AdmissionController, AdmissionError, TokenBucket
+from .config import GatewayConfig, TenantSpec
+from .gateway import (
+    Gateway,
+    GatewayError,
+    ShardPool,
+    WorkerDied,
+    gateway_serve_loop,
+)
+from .loadgen import (
+    LoadReport,
+    LoadSpec,
+    generate_stream,
+    run_loadgen,
+    verify_against_batch,
+)
+from .routing import shard_of, stable_hash, worker_of
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "TokenBucket",
+    "GatewayConfig",
+    "TenantSpec",
+    "Gateway",
+    "GatewayError",
+    "ShardPool",
+    "WorkerDied",
+    "gateway_serve_loop",
+    "LoadReport",
+    "LoadSpec",
+    "generate_stream",
+    "run_loadgen",
+    "verify_against_batch",
+    "shard_of",
+    "stable_hash",
+    "worker_of",
+]

@@ -1,0 +1,892 @@
+"""The gateway front door: one daemon multiplexing a fleet of shards.
+
+Two layers (ISSUE 8 tentpole):
+
+* :class:`ShardPool` -- the transport: spawns ``python -m
+  repro.gateway.worker`` processes (process-per-core), routes shard-tagged
+  JSONL commands over binary pipes with bounded pipelining (responses are
+  matched positionally per worker -- workers answer strictly in order),
+  keeps a per-shard write-ahead log of every forwarded mutation since the
+  last acknowledged checkpoint, and implements snapshot-under-load, kill
+  and bit-identical restore (checkpoint + WAL replay through the very same
+  command path).
+* :class:`Gateway` -- the tenant-facing policy layer on top: deterministic
+  ``tenant -> shard -> org`` routing from the content-hashed
+  :class:`~repro.gateway.config.GatewayConfig`, admission control and
+  per-org token-bucket rate/credit accounting at ingest
+  (:mod:`repro.gateway.admission`; typed in-band errors, never a crash),
+  aggregate status/observability, and ingest-latency accounting.
+
+Recovery contract: after ``kill_worker(w)`` (SIGKILL, no warning), the
+sequence *respawn from the last checkpoint* + *replay the per-shard WAL*
+reconstructs every shard bit-identically -- checkpoints restore through
+the event-sourced journal (verified digests), and the WAL replays the
+exact forwarded commands in their original per-shard order through the
+same deterministic ingest path.  Commands the dead worker had already
+applied after the checkpoint are *not* double-applied: the respawned
+worker starts from the checkpoint state, which predates them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from .admission import AdmissionController, AdmissionError
+from .config import GatewayConfig
+from .worker import shard_snapshot_path
+
+__all__ = [
+    "Gateway",
+    "ShardPool",
+    "GatewayError",
+    "WorkerDied",
+    "gateway_serve_loop",
+]
+
+#: Ops the WAL must capture: everything that mutates shard state.  Pure
+#: observations (status, inline snapshot) replay to nothing and are not
+#: logged.
+MUTATING_OPS = frozenset(
+    {
+        "submit",
+        "advance",
+        "drain",
+        "join",
+        "leave",
+        "add_machines",
+        "remove_machines",
+    }
+)
+
+
+class GatewayError(RuntimeError):
+    """A transport-level gateway failure (not an in-band command error)."""
+
+
+class WorkerDied(GatewayError):
+    """A worker process exited while responses were still expected."""
+
+
+@dataclass
+class _Pending:
+    """One in-flight request awaiting its (positional) response."""
+
+    req_id: int
+    shard: "int | None"
+    op: str
+    sent_at: float
+    track_latency: bool = False
+    callback: "Callable[[dict], None] | None" = None
+
+
+class _WorkerHandle:
+    """One spawned worker: binary pipes, tx batching, rx line splitting."""
+
+    HANDSHAKE_TIMEOUT_S = 60.0
+
+    def __init__(
+        self,
+        worker_id: int,
+        manifest: dict,
+        env: "dict[str, str]",
+    ) -> None:
+        self.worker_id = worker_id
+        # -c instead of -m: the latter warns when repro.gateway is already
+        # imported as a package before runpy executes the submodule
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from repro.gateway.worker import worker_main; "
+                "raise SystemExit(worker_main())",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # inherit: worker tracebacks stay visible
+            env=env,
+        )
+        self.pending: "deque[_Pending]" = deque()
+        self.dead = False
+        self._rx = bytearray()
+        self._rx_lines: "deque[str]" = deque()
+        self._tx: "list[bytes]" = []
+        self.hello = self._handshake(manifest)
+
+    # -- low-level I/O --------------------------------------------------
+    def _handshake(self, manifest: dict) -> dict:
+        self.write_line(manifest)
+        self.flush()
+        resp = self._read_response(timeout=self.HANDSHAKE_TIMEOUT_S)
+        if resp is None or not resp.get("ok"):
+            raise WorkerDied(
+                f"worker {self.worker_id} failed to start: {resp!r}"
+            )
+        return resp
+
+    def write_line(self, payload: dict) -> None:
+        self._tx.append(json.dumps(payload).encode("utf-8") + b"\n")
+
+    def flush(self) -> None:
+        if not self._tx or self.dead:
+            self._tx.clear()
+            return
+        data = b"".join(self._tx)
+        self._tx.clear()
+        try:
+            self.proc.stdin.write(data)
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            self.dead = True
+            raise WorkerDied(
+                f"worker {self.worker_id} pipe closed: {exc}"
+            ) from exc
+
+    def _fill_rx(self, timeout: "float | None") -> bool:
+        """Read once from the worker's stdout; False on timeout/EOF."""
+        fd = self.proc.stdout.fileno()
+        ready, _, _ = select.select([fd], [], [], timeout)
+        if not ready:
+            return False
+        chunk = os.read(fd, 1 << 16)
+        if not chunk:
+            self.dead = True
+            return False
+        self._rx.extend(chunk)
+        while True:
+            nl = self._rx.find(b"\n")
+            if nl < 0:
+                break
+            self._rx_lines.append(
+                self._rx[:nl].decode("utf-8", errors="replace")
+            )
+            del self._rx[: nl + 1]
+        return True
+
+    def _read_response(self, timeout: "float | None") -> "dict | None":
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._rx_lines:
+            if self.dead:
+                return None
+            left = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            # False == timeout elapsed or EOF; either way nothing more to
+            # wait for within this call's budget
+            if not self._fill_rx(left):
+                return None
+        return json.loads(self._rx_lines.popleft())
+
+    # -- response accounting --------------------------------------------
+    def settle_one(self, timeout: "float | None" = None) -> "dict | None":
+        """Match the oldest pending request with the next response."""
+        if not self.pending:
+            return None
+        self.flush()
+        resp = self._read_response(timeout)
+        if resp is None:
+            if self.dead:
+                raise WorkerDied(
+                    f"worker {self.worker_id} died with "
+                    f"{len(self.pending)} responses outstanding"
+                )
+            return None
+        p = self.pending.popleft()
+        got = resp.get("id")
+        if got is not None and got != p.req_id:
+            raise GatewayError(
+                f"worker {self.worker_id}: response id {got} does not "
+                f"match pending request {p.req_id} (protocol desync)"
+            )
+        if p.callback is not None:
+            p.callback(resp)
+        return resp
+
+    def settle_available(self) -> int:
+        """Opportunistically consume already-arrived responses."""
+        n = 0
+        while self.pending and (self._rx_lines or self._peek_readable()):
+            if self.settle_one(timeout=0) is None:
+                break
+            n += 1
+        return n
+
+    def _peek_readable(self) -> bool:
+        if self.dead:
+            return False
+        fd = self.proc.stdout.fileno()
+        ready, _, _ = select.select([fd], [], [], 0)
+        return bool(ready)
+
+    def drain(self) -> None:
+        while self.pending:
+            self.settle_one(timeout=None)
+
+    # -- lifecycle -------------------------------------------------------
+    def kill(self) -> int:
+        """SIGKILL the process; returns the number of lost responses."""
+        lost = len(self.pending)
+        self.pending.clear()
+        self._tx.clear()
+        self._rx.clear()
+        self._rx_lines.clear()
+        self.dead = True
+        if self.proc.poll() is None:
+            self.proc.kill()
+        self.proc.wait()
+        return lost
+
+    def close(self) -> None:
+        if self.proc.poll() is None:
+            try:
+                self.proc.stdin.close()
+            except OSError:
+                pass
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety
+                self.proc.kill()
+                self.proc.wait()
+        self.dead = True
+
+
+class ShardPool:
+    """Process-per-core workers, each owning the shards routed to it.
+
+    The pool is the deterministic transport under :class:`Gateway`; it
+    knows nothing about tenants.  Shard commands pipeline (bounded by
+    ``max_inflight`` per worker); mutating commands are write-ahead
+    logged per shard until the next acknowledged checkpoint, which is
+    what makes :meth:`restore_worker` exact.
+    """
+
+    def __init__(
+        self,
+        config: GatewayConfig,
+        *,
+        snapshot_dir: "str | Path | None" = None,
+        max_inflight: int = 64,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.config = config
+        self.snapshot_dir = (
+            None if snapshot_dir is None else Path(snapshot_dir)
+        )
+        self.max_inflight = max_inflight
+        self.workers: "dict[int, _WorkerHandle]" = {}
+        self.wal: "dict[int, list[dict]]" = {
+            s: [] for s in config.shard_ids()
+        }
+        self.checkpointed: "set[int]" = set()
+        self.latencies_s: "list[float]" = []
+        self.lost_responses = 0
+        self.restores = 0
+        self._next_id = 0
+
+    # -- spawn -----------------------------------------------------------
+    @staticmethod
+    def _worker_env() -> "dict[str, str]":
+        import repro
+
+        pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            pkg_root if not existing else pkg_root + os.pathsep + existing
+        )
+        return env
+
+    def _manifest(self, worker: int, restore: "dict[str, str]") -> dict:
+        cfg = self.config
+        return {
+            "worker": worker,
+            "shards": {
+                str(s): {
+                    "machine_counts": list(cfg.shard_machine_counts(s)),
+                    "policy": cfg.policy,
+                    "seed": cfg.shard_seed(s),
+                    "horizon": cfg.horizon,
+                    "batch_max": cfg.batch_max,
+                }
+                for s in cfg.worker_shards(worker)
+            },
+            "restore": restore,
+            "snapshot_dir": (
+                None if self.snapshot_dir is None else str(self.snapshot_dir)
+            ),
+            "linger_ms": cfg.batch_linger_ms,
+        }
+
+    def start(self) -> "ShardPool":
+        env = self._worker_env()
+        for w in range(self.config.n_workers):
+            if not self.config.worker_shards(w):
+                continue  # fewer populated shards than workers
+            self.workers[w] = _WorkerHandle(w, self._manifest(w, {}), env)
+        return self
+
+    @property
+    def n_live_workers(self) -> int:
+        return sum(1 for h in self.workers.values() if not h.dead)
+
+    def _handle_for_shard(self, shard: int) -> _WorkerHandle:
+        from .routing import worker_of
+
+        w = worker_of(shard, self.config.n_workers)
+        try:
+            handle = self.workers[w]
+        except KeyError:
+            raise GatewayError(f"no worker owns shard {shard}") from None
+        if handle.dead:
+            raise WorkerDied(
+                f"worker {w} (shard {shard}) is dead; restore_worker({w}) "
+                f"first"
+            )
+        return handle
+
+    # -- command dispatch ------------------------------------------------
+    def shard_cmd(
+        self,
+        shard: int,
+        cmd: dict,
+        *,
+        wait: bool = False,
+        track_latency: bool = False,
+        callback: "Callable[[dict], None] | None" = None,
+        log: bool = True,
+    ) -> "dict | None":
+        """Send one shard-tagged command; pipeline unless ``wait``."""
+        handle = self._handle_for_shard(shard)
+        self._next_id += 1
+        payload = {"id": self._next_id, "shard": shard, **cmd}
+        if log and cmd.get("op") in MUTATING_OPS:
+            self.wal[shard].append(dict(cmd))
+        cb = self._wrap_latency(callback) if track_latency else callback
+        captured: "list[dict]" = []
+        if wait:
+            inner = cb
+
+            def cb(resp: dict, _inner=inner) -> None:
+                captured.append(resp)
+                if _inner is not None:
+                    _inner(resp)
+
+        handle.pending.append(
+            _Pending(
+                req_id=self._next_id,
+                shard=shard,
+                op=cmd.get("op", "?"),
+                sent_at=time.perf_counter(),
+                track_latency=track_latency,
+                callback=cb,
+            )
+        )
+        handle.write_line(payload)
+        if wait:
+            handle.drain()
+            if not captured:
+                raise GatewayError("response stream ended unexpectedly")
+            return captured[0]
+        if len(handle.pending) >= self.max_inflight:
+            handle.settle_one(timeout=None)
+        else:
+            handle.settle_available()
+        return None
+
+    def _wrap_latency(
+        self, callback: "Callable[[dict], None] | None"
+    ) -> "Callable[[dict], None]":
+        sent = time.perf_counter()
+
+        def cb(resp: dict) -> None:
+            self.latencies_s.append(time.perf_counter() - sent)
+            if callback is not None:
+                callback(resp)
+
+        return cb
+
+    def worker_cmd(self, worker: int, cmd: dict) -> dict:
+        """A synchronous worker-level op (status / snapshot / shutdown)."""
+        handle = self.workers[worker]
+        if handle.dead:
+            raise WorkerDied(f"worker {worker} is dead")
+        handle.drain()  # worker-level ops are barriers on that worker
+        self._next_id += 1
+        payload = {"id": self._next_id, **cmd}
+        handle.write_line(payload)
+        handle.pending.append(
+            _Pending(
+                req_id=self._next_id,
+                shard=None,
+                op=cmd.get("op", "?"),
+                sent_at=time.perf_counter(),
+            )
+        )
+        resp = handle.settle_one(timeout=None)
+        if resp is None:
+            raise WorkerDied(f"worker {worker} gave no response")
+        return resp
+
+    def call(self, shard: int, cmd: dict, **kwargs) -> dict:
+        resp = self.shard_cmd(shard, cmd, wait=True, **kwargs)
+        assert resp is not None
+        return resp
+
+    def barrier(self) -> None:
+        """Flush and settle every in-flight request on every live worker."""
+        for handle in self.workers.values():
+            if not handle.dead:
+                handle.drain()
+
+    # -- observation -----------------------------------------------------
+    def statuses(self) -> "dict[int, dict]":
+        """Shard id -> ``ClusterService.status()`` dict, fleet-wide."""
+        self.barrier()
+        out: "dict[int, dict]" = {}
+        for w, handle in sorted(self.workers.items()):
+            if handle.dead:
+                continue
+            resp = self.worker_cmd(w, {"op": "worker_status"})
+            for sid, status in resp["shards"].items():
+                out[int(sid)] = status
+        return out
+
+    def shard_digests(self) -> "dict[int, str]":
+        """Schedule digest per shard (inline snapshot; not a checkpoint)."""
+        self.barrier()
+        out = {}
+        for s in self.config.shard_ids():
+            resp = self.call(s, {"op": "snapshot"}, log=False)
+            if not resp.get("ok"):
+                raise GatewayError(f"shard {s} snapshot failed: {resp}")
+            out[s] = resp["snapshot"]["schedule_digest"]
+        return out
+
+    # -- checkpoint / crash / restore ------------------------------------
+    def snapshot_all(self) -> "dict[int, dict]":
+        """Checkpoint every shard to ``snapshot_dir`` (snapshot-under-load:
+        callable at any point of the stream); acknowledges the WAL."""
+        if self.snapshot_dir is None:
+            raise GatewayError("snapshot_all needs a snapshot_dir")
+        self.barrier()
+        out: "dict[int, dict]" = {}
+        for w, handle in sorted(self.workers.items()):
+            if handle.dead:
+                raise WorkerDied(
+                    f"worker {w} is dead; restore it before checkpointing"
+                )
+            resp = self.worker_cmd(
+                w, {"op": "snapshot_shards", "dir": str(self.snapshot_dir)}
+            )
+            if not resp.get("ok"):
+                raise GatewayError(f"worker {w} snapshot failed: {resp}")
+            for sid, info in resp["snapshots"].items():
+                out[int(sid)] = info
+        # every command up to the barrier is inside the checkpoints; the
+        # WAL restarts empty from here
+        for s in out:
+            self.wal[s] = []
+            self.checkpointed.add(s)
+        return out
+
+    def kill_worker(self, worker: int) -> int:
+        """SIGKILL a worker mid-stream; returns lost in-flight responses."""
+        handle = self.workers[worker]
+        lost = handle.kill()
+        self.lost_responses += lost
+        return lost
+
+    def restore_worker(self, worker: int) -> "dict[int, int]":
+        """Respawn a dead worker and rebuild its shards bit-identically:
+        restore each from its last checkpoint (genesis when none exists),
+        then replay the per-shard WAL in original order.  Returns
+        ``shard -> replayed command count``."""
+        old = self.workers.get(worker)
+        if old is not None and not old.dead:
+            raise GatewayError(f"worker {worker} is still alive")
+        restore = {}
+        if self.snapshot_dir is not None:
+            for s in self.config.worker_shards(worker):
+                if s in self.checkpointed:
+                    path = shard_snapshot_path(self.snapshot_dir, s)
+                    if path.exists():
+                        restore[str(s)] = str(path)
+        self.workers[worker] = _WorkerHandle(
+            worker, self._manifest(worker, restore), self._worker_env()
+        )
+        replayed = {}
+        for s in self.config.worker_shards(worker):
+            for cmd in self.wal[s]:
+                # log=False: the WAL already holds these commands
+                self.shard_cmd(s, cmd, log=False)
+            replayed[s] = len(self.wal[s])
+        self.workers[worker].drain()
+        self.restores += 1
+        return replayed
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        for w, handle in sorted(self.workers.items()):
+            if handle.dead:
+                continue
+            try:
+                handle.drain()
+                self.worker_cmd(w, {"op": "shutdown"})
+            except (GatewayError, OSError):
+                pass
+            handle.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Gateway:
+    """The tenant-facing front door over a :class:`ShardPool`.
+
+    Ingest ops route by tenant (``tenant -> shard -> org``), pass
+    admission control first, and pipeline to the owning worker; time ops
+    broadcast to every shard.  All errors -- admission refusals, unknown
+    tenants, shard-side validation -- come back as in-band
+    ``{"ok": false, "error": ..., "code": ...}`` responses.
+    """
+
+    def __init__(
+        self,
+        config: GatewayConfig,
+        *,
+        snapshot_dir: "str | Path | None" = None,
+        max_inflight: int = 64,
+    ) -> None:
+        self.config = config
+        self.pool = ShardPool(
+            config, snapshot_dir=snapshot_dir, max_inflight=max_inflight
+        )
+        self.admission = AdmissionController(config)
+        self.clock = 0
+        self.n_submitted = 0
+        self.n_rejected = 0
+        self.forward_errors: "list[dict]" = []
+        self._started = time.perf_counter()
+
+    def start(self) -> "Gateway":
+        self.pool.start()
+        return self
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.pool.close()
+
+    # -- ingest ----------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        size: int,
+        release: "int | None" = None,
+        *,
+        wait: bool = False,
+    ) -> dict:
+        """Submit one job for ``tenant``; admission-checked at the door.
+
+        Pipelined by default (the returned dict only acknowledges
+        forwarding; shard-side errors surface in :attr:`forward_errors`
+        and the next barrier).  ``wait=True`` returns the shard's full
+        response.
+        """
+        now = self.clock if release is None else max(release, self.clock)
+        try:
+            # raises unknown_tenant before the route lookup can fail
+            self.admission.admit_submit(tenant, size, now)
+        except AdmissionError as exc:
+            self.n_rejected += 1
+            return {
+                "ok": False,
+                "tenant": tenant,
+                "error": str(exc),
+                "code": exc.code,
+            }
+        shard, org = self.config.routes[tenant]
+        cmd: dict = {"op": "submit", "org": org, "size": int(size)}
+        if release is not None:
+            cmd["release"] = int(release)
+        self.n_submitted += 1
+
+        def check(resp: dict) -> None:
+            if not resp.get("ok"):
+                self.forward_errors.append(
+                    {"tenant": tenant, "shard": shard, **resp}
+                )
+
+        resp = self.pool.shard_cmd(
+            shard, cmd, wait=wait, track_latency=True, callback=check
+        )
+        if wait:
+            return {"tenant": tenant, **resp}
+        return {"ok": True, "tenant": tenant, "shard": shard, "queued": True}
+
+    def add_credits(self, tenant: str, amount: float) -> dict:
+        try:
+            balance = self.admission.add_credits(tenant, amount)
+        except AdmissionError as exc:
+            return {
+                "ok": False,
+                "tenant": tenant,
+                "error": str(exc),
+                "code": exc.code,
+            }
+        return {"ok": True, "tenant": tenant, "credits_remaining": balance}
+
+    # -- time ------------------------------------------------------------
+    def advance(self, t: int, *, wait: bool = False) -> dict:
+        """Advance every shard's clock to ``t`` (broadcast, pipelined)."""
+        t = int(t)
+        self.clock = max(self.clock, t)
+        self.admission.observe_clock(self.clock)
+        for s in self.config.shard_ids():
+            self.pool.shard_cmd(s, {"op": "advance", "t": t})
+        if wait:
+            self.pool.barrier()
+        return {"ok": True, "clock": self.clock}
+
+    def drain(self) -> dict:
+        """Process every remaining decision event on every shard."""
+        clocks = []
+        for s in self.config.shard_ids():
+            resp = self.pool.call(s, {"op": "drain"})
+            if not resp.get("ok"):
+                return resp
+            clocks.append(resp["clock"])
+        self.clock = max([self.clock, *clocks])
+        self.admission.observe_clock(self.clock)
+        return {"ok": True, "clock": self.clock}
+
+    # -- observation -----------------------------------------------------
+    def status(self) -> dict:
+        """Aggregate fleet status: totals, per-shard, per-tenant.
+
+        Per-tenant rows join the gateway-side admission counters
+        (accepted/rejected/credits) with the owning shard's per-org
+        ingest and queue counters -- the satellite observability
+        contract.
+        """
+        shard_statuses = self.pool.statuses()
+        admission = self.admission.status()
+        tenants = {}
+        for t in self.config.tenants:
+            shard, org = self.config.routes[t.name]
+            row = dict(admission[t.name])
+            row["shard"] = shard
+            row["org"] = org
+            per_org = shard_statuses.get(shard, {}).get("per_org", {})
+            row.update(per_org.get(str(org), {}))
+            tenants[t.name] = row
+        totals = {
+            "events_processed": sum(
+                s["events_processed"] for s in shard_statuses.values()
+            ),
+            "jobs_submitted": sum(
+                s["jobs_submitted"] for s in shard_statuses.values()
+            ),
+            "jobs_started": sum(
+                s["jobs_started"] for s in shard_statuses.values()
+            ),
+            "waiting": sum(s["waiting"] for s in shard_statuses.values()),
+            "running": sum(s["running"] for s in shard_statuses.values()),
+            "ingest_flushes": sum(
+                s["ingest"]["flushes"] for s in shard_statuses.values()
+            ),
+            "jobs_flushed": sum(
+                s["ingest"]["jobs_flushed"] for s in shard_statuses.values()
+            ),
+            "rejected": self.n_rejected,
+            "forward_errors": len(self.forward_errors),
+            "lost_responses": self.pool.lost_responses,
+            "worker_restores": self.pool.restores,
+        }
+        return {
+            "ok": True,
+            "config_hash": self.config.content_hash(),
+            "policy": self.config.policy,
+            "clock": self.clock,
+            "workers": self.pool.n_live_workers,
+            "shards": len(self.config.shard_ids()),
+            "tenants": len(self.config.tenants),
+            **totals,
+            "per_shard": {str(s): v for s, v in shard_statuses.items()},
+            "per_tenant": tenants,
+        }
+
+    def latency_percentiles(self) -> "dict[str, float]":
+        """Ingest round-trip latency percentiles (milliseconds)."""
+        lat = sorted(self.pool.latencies_s)
+        if not lat:
+            return {"p50_ms": 0.0, "p99_ms": 0.0}
+
+        def pct(q: float) -> float:
+            idx = min(len(lat) - 1, int(q * (len(lat) - 1) + 0.5))
+            return lat[idx] * 1000.0
+
+        return {"p50_ms": round(pct(0.50), 4), "p99_ms": round(pct(0.99), 4)}
+
+    def stats_line(self) -> str:
+        """One compact periodic-stats line (``repro gateway`` heartbeat)."""
+        lat = self.latency_percentiles()
+        elapsed = time.perf_counter() - self._started
+        return (
+            f"[gateway] clock={self.clock} workers={self.pool.n_live_workers}"
+            f" shards={len(self.config.shard_ids())}"
+            f" submitted={self.n_submitted} rejected={self.n_rejected}"
+            f" p50={lat['p50_ms']:.2f}ms p99={lat['p99_ms']:.2f}ms"
+            f" uptime={elapsed:.1f}s"
+        )
+
+    # -- checkpoint / recovery (delegated) -------------------------------
+    def snapshot_all(self) -> "dict[int, dict]":
+        return self.pool.snapshot_all()
+
+    def shard_digests(self) -> "dict[int, str]":
+        return self.pool.shard_digests()
+
+    def kill_worker(self, worker: int) -> int:
+        return self.pool.kill_worker(worker)
+
+    def restore_worker(self, worker: int) -> "dict[int, int]":
+        return self.pool.restore_worker(worker)
+
+
+def gateway_serve_loop(
+    gateway: Gateway,
+    lines,
+    out,
+    *,
+    stats_every_s: "float | None" = None,
+    stats_out=None,
+) -> None:
+    """The ``repro gateway`` daemon loop: tenant-facing JSONL commands.
+
+    The protocol mirrors ``repro serve`` but addresses **tenants**, not
+    org ids -- routing, admission and sharding are the gateway's job::
+
+        {"id": 1, "op": "submit", "tenant": "t3", "size": 2}
+        {"id": 2, "op": "advance", "t": 5}
+        {"id": 3, "op": "status"}
+        {"id": 4, "op": "add_credits", "tenant": "t3", "amount": 50}
+        {"id": 5, "op": "snapshot"}          # checkpoint the whole fleet
+        {"id": 6, "op": "digests"}           # per-shard schedule digests
+        {"id": 7, "op": "stop"}
+
+    Every error -- admission refusal, unknown tenant, malformed JSON --
+    is an in-band ``{"ok": false, ...}`` response.  ``stats_every_s``
+    emits a periodic one-line fleet heartbeat to ``stats_out``
+    (observability satellite).  On :class:`~repro.service.daemon.
+    ShutdownRequested` (SIGTERM/SIGINT) the fleet is checkpointed to the
+    pool's ``snapshot_dir`` before the loop returns, so a supervisor
+    kill of the *gateway* is as recoverable as a worker crash.
+    """
+    last_stats = time.monotonic()
+
+    def maybe_stats() -> None:
+        nonlocal last_stats
+        if stats_every_s is None or stats_out is None:
+            return
+        now = time.monotonic()
+        if now - last_stats >= stats_every_s:
+            stats_out.write(gateway.stats_line() + "\n")
+            stats_out.flush()
+            last_stats = now
+
+    try:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            keep = True
+            req_id = None
+            try:
+                cmd = json.loads(line)
+                if not isinstance(cmd, dict):
+                    raise ValueError(
+                        f"expected a JSON object, got {type(cmd).__name__}"
+                    )
+                req_id = cmd.get("id")
+                op = cmd.get("op")
+                if op == "submit":
+                    resp = gateway.submit(
+                        cmd["tenant"],
+                        int(cmd.get("size", 1)),
+                        release=(
+                            int(cmd["release"]) if "release" in cmd else None
+                        ),
+                        wait=bool(cmd.get("wait", False)),
+                    )
+                elif op == "advance":
+                    resp = gateway.advance(int(cmd["t"]))
+                elif op == "drain":
+                    resp = gateway.drain()
+                elif op == "status":
+                    resp = gateway.status()
+                elif op == "add_credits":
+                    resp = gateway.add_credits(
+                        cmd["tenant"], float(cmd["amount"])
+                    )
+                elif op == "snapshot":
+                    resp = {
+                        "ok": True,
+                        "snapshots": {
+                            str(s): info
+                            for s, info in gateway.snapshot_all().items()
+                        },
+                    }
+                elif op == "digests":
+                    resp = {
+                        "ok": True,
+                        "digests": {
+                            str(s): d
+                            for s, d in gateway.shard_digests().items()
+                        },
+                    }
+                elif op == "stop":
+                    resp = {"ok": True, "stopped": True}
+                    keep = False
+                else:
+                    raise ValueError(f"unknown gateway op {op!r}")
+            except (ValueError, KeyError, TypeError) as exc:
+                resp = {"ok": False, "error": str(exc)}
+            if req_id is not None:
+                resp["id"] = req_id
+            out.write(json.dumps(resp) + "\n")
+            out.flush()
+            maybe_stats()
+            if not keep:
+                return
+    except BaseException as exc:
+        # graceful SIGTERM/SIGINT (ShutdownRequested) -- and any crash --
+        # leaves a restorable fleet checkpoint behind when possible
+        if gateway.pool.snapshot_dir is not None:
+            try:
+                gateway.snapshot_all()
+            except GatewayError:
+                pass
+        from ..service.daemon import ShutdownRequested
+
+        if isinstance(exc, ShutdownRequested):
+            return
+        raise

@@ -1,0 +1,39 @@
+"""Deterministic shard routing: ``tenant -> shard -> worker``.
+
+The gateway never keeps a routing table that could drift between
+restarts or between the gateway and an out-of-band tool: placement is a
+pure function of the tenant id and the :class:`~repro.gateway.config.
+GatewayConfig` shape.  Tenants hash onto shards with a *stable* digest
+(SHA-256, not Python's per-process randomized ``hash``), shards map onto
+workers round-robin, and within a shard tenants become organization ids
+in declaration order.  Any party holding the config can therefore compute
+where a tenant lives -- which is what makes crash recovery (respawn the
+worker that owned shards ``S_w``) and the per-shard batch-equivalence
+check possible without asking the gateway anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_hash", "shard_of", "worker_of"]
+
+
+def stable_hash(text: str) -> int:
+    """A process-independent 64-bit hash of a tenant id."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_of(tenant: str, n_shards: int) -> int:
+    """The shard a tenant's cluster state lives on."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return stable_hash(tenant) % n_shards
+
+
+def worker_of(shard: int, n_workers: int) -> int:
+    """The worker process owning a shard (round-robin over workers)."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    return shard % n_workers

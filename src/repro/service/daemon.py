@@ -27,14 +27,105 @@ Every response carries ``"ok": true/false``; errors are reported in-band
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import selectors
+import signal
 import time
-from typing import IO, Iterable
+from typing import IO, Callable, Iterable
 
 from .service import ClusterService
 from .snapshot import save_snapshot
 
-__all__ = ["serve_loop"]
+__all__ = [
+    "serve_loop",
+    "timed_lines",
+    "ShutdownRequested",
+    "install_shutdown_handlers",
+]
+
+
+class ShutdownRequested(BaseException):
+    """Raised by the graceful-shutdown signal handlers (SIGTERM/SIGINT).
+
+    Deliberately a :class:`BaseException`: nothing in the serve path may
+    swallow it, so it unwinds straight through :func:`serve_loop`, whose
+    ``finally`` writes the ``--snapshot-to`` checkpoint -- a supervisor's
+    ``kill`` is then exactly as recoverable as a clean ``stop``.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"shutdown requested by signal {signum}")
+        self.signum = signum
+
+
+def install_shutdown_handlers(
+    signums: "tuple[int, ...]" = (signal.SIGTERM, signal.SIGINT),
+) -> None:
+    """Route ``signums`` to :class:`ShutdownRequested` in the main thread.
+
+    A handled signal interrupts the blocking stdin read (or selector
+    wait), so a lingering daemon reacts immediately instead of at the
+    next command.
+    """
+
+    def _raise(signum, frame):  # pragma: no cover - trivial closure
+        raise ShutdownRequested(signum)
+
+    for signum in signums:
+        signal.signal(signum, _raise)
+
+
+def timed_lines(
+    stream, timeout: "Callable[[], float | None]"
+) -> "Iterable[str | None]":
+    """Yield lines from ``stream``, yielding ``None`` on read timeouts.
+
+    ``timeout()`` is consulted before each wait: ``None`` blocks until
+    input arrives, a number bounds the wait in seconds (yielding ``None``
+    when it elapses without a complete line, so the caller can run idle
+    work such as a linger flush).  Sources without a real file descriptor
+    (lists, ``StringIO``, generators) fall back to plain iteration --
+    they cannot block indefinitely, so per-line timing is moot there.
+    """
+    try:
+        fd = stream.fileno()
+    except (AttributeError, ValueError, OSError, io.UnsupportedOperation):
+        yield from stream
+        return
+    sel = selectors.DefaultSelector()
+    try:
+        sel.register(fd, selectors.EVENT_READ)
+    except (OSError, ValueError, PermissionError):
+        sel.close()
+        yield from stream
+        return
+    buf = bytearray()
+    try:
+        while True:
+            wait = timeout()
+            if wait is not None and wait <= 0:
+                # never busy-spin a zero linger
+                wait = 0.001
+            if not sel.select(wait):
+                yield None
+                continue
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                if buf:
+                    yield buf.decode("utf-8", errors="replace")
+                return
+            buf.extend(chunk)
+            while True:
+                nl = buf.find(b"\n")
+                if nl < 0:
+                    break
+                line = buf[:nl].decode("utf-8", errors="replace")
+                del buf[: nl + 1]
+                yield line
+    finally:
+        sel.close()
 
 
 def _handle(service: ClusterService, cmd: dict) -> "tuple[dict, bool]":
@@ -111,14 +202,36 @@ def serve_loop(
     ``batch_linger_ms`` bounds how long a submitted job may sit in the
     service's micro-batch ingest buffer (see ``ClusterService.batch_max``):
     the buffer is force-flushed once the oldest buffered job is older than
-    the linger, checked after each command.  Flush timing never changes the
-    schedule -- the knobs only trade per-op latency for grouped-update
-    throughput.
+    the linger -- checked after each command *and* whenever the input has
+    been idle for the linger (the blocking read is bounded with a selector
+    timeout, so a buffered job on an idle stdin never sits unflushed past
+    the linger).  Flush timing never changes the schedule -- the knobs
+    only trade per-op latency for grouped-update throughput.
     """
     linger_s = None if batch_linger_ms is None else batch_linger_ms / 1000.0
     buffered_since: "float | None" = None
+
+    def check_linger() -> None:
+        nonlocal buffered_since
+        if not service.pending_ingest:
+            buffered_since = None
+        elif buffered_since is None:
+            buffered_since = time.monotonic()
+        elif time.monotonic() - buffered_since >= linger_s:
+            service.flush_ingest()
+            buffered_since = None
+
+    if linger_s is None:
+        source: "Iterable[str | None]" = lines
+    else:
+        source = timed_lines(
+            lines, lambda: linger_s if service.pending_ingest else None
+        )
     try:
-        for line in lines:
+        for line in source:
+            if line is None:  # idle read timeout: only linger work to do
+                check_linger()
+                continue
             line = line.strip()
             if not line:
                 continue
@@ -132,13 +245,7 @@ def serve_loop(
             except (ValueError, KeyError, TypeError) as exc:
                 response, keep = {"ok": False, "error": str(exc)}, True
             if linger_s is not None:
-                if not service.pending_ingest:
-                    buffered_since = None
-                elif buffered_since is None:
-                    buffered_since = time.monotonic()
-                elif time.monotonic() - buffered_since >= linger_s:
-                    service.flush_ingest()
-                    buffered_since = None
+                check_linger()
             out.write(json.dumps(response) + "\n")
             out.flush()
             if not keep:

@@ -546,6 +546,11 @@ class ClusterService:
             raise ValueError("batch_max must be >= 1 (or None: unbounded)")
         self.batch_max = batch_max
         self._pending_jobs: "list[Job]" = []
+        #: Observability counters (reported by :meth:`status`, not part of
+        #: the snapshot): how often the ingest buffer flushed and how many
+        #: jobs those flushes fed to the policy's engines.
+        self.n_flushes = 0
+        self.n_jobs_flushed = 0
         self._policy: OnlinePolicy = entry.online_factory(self, resolved)
 
     @property
@@ -611,6 +616,8 @@ class ClusterService:
             return 0
         jobs, self._pending_jobs = self._pending_jobs, []
         self._policy.submit_many(jobs)
+        self.n_flushes += 1
+        self.n_jobs_flushed += len(jobs)
         return len(jobs)
 
     # ------------------------------------------------------------------
@@ -868,9 +875,17 @@ class ClusterService:
         )
 
     def status(self) -> dict:
-        """A JSON-friendly health/throughput summary."""
+        """A JSON-friendly health/throughput summary.
+
+        ``ingest.buffered`` reports the micro-batch buffer depth *as the
+        status call found it* (observation flushes the buffer, so the live
+        value afterwards is always 0); ``per_org`` carries the ingest and
+        queue counters the gateway's aggregate status rolls up.
+        """
+        buffered = self.pending_ingest
         self.flush_ingest()
         engine = self._policy.grand_engine()
+        running = engine.running_counts()
         return {
             "policy": self._policy.name,
             "clock": self.clock,
@@ -884,8 +899,21 @@ class ClusterService:
             "waiting": sum(
                 engine.waiting_count(u) for u in engine.members
             ),
-            "running": sum(engine.running_counts()),
+            "running": sum(running),
             "free_machines": engine.free_count,
+            "ingest": {
+                "buffered": buffered,
+                "flushes": self.n_flushes,
+                "jobs_flushed": self.n_jobs_flushed,
+            },
+            "per_org": {
+                str(u): {
+                    "jobs_submitted": self.census.next_index.get(u, 0),
+                    "waiting": engine.waiting_count(u),
+                    "running": running[u] if u < len(running) else 0,
+                }
+                for u in self.census.members
+            },
         }
 
     # ------------------------------------------------------------------
