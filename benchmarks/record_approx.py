@@ -1,0 +1,43 @@
+"""Record the certified approximation ladder's quality/throughput
+trajectory (thin wrapper over ``repro bench approx``)::
+
+    PYTHONPATH=src python benchmarks/record_approx.py \
+        [--output BENCH_approx.json] [--quick]
+
+BENCH_approx.json is the ISSUE 9 acceptance artifact: ``ref_adaptive``
+decision throughput at k=50/100/200 (org counts no exact policy can
+touch), the per-decision certified rate at each tier, and the realized
+stratified-vs-uniform estimator variance ratio (must stay >= 1.0 -- the
+variance reduction is supposed to be pure profit).  ``--check-against``
+turns it into the CI perf-gate: quality floors, not wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import main as bench_main  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_approx.json"
+        ),
+    )
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check-against", dest="check_against", default=None)
+    parser.add_argument("--tolerance", type=float, default=0.35)
+    args = parser.parse_args()
+    args.bench = "approx"
+    return bench_main(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,12 @@ import numpy as np
 
 from ..core.fleet import CoalitionFleet
 from ..core.workload import Workload
-from ..shapley.sampling import SampledPrefixes, hoeffding_samples
+from ..shapley.sampling import (
+    ORDERING_SAMPLERS,
+    SampledPrefixes,
+    hoeffding_samples,
+    sample_member_orderings,
+)
 from .base import (
     Scheduler,
     SchedulerResult,
@@ -78,14 +83,21 @@ class RandRun:
         *,
         oracle_factory: "Callable[[list[int]], CoalitionFleet] | None" = None,
         fleet: CoalitionFleet | None = None,
+        sampler: "str | Callable | None" = None,
     ) -> None:
         self.members_t = members_t
         self.grand_mask = grand_mask
         self.n_orderings = n_orderings
         member_arr = np.array(members_t, dtype=np.int64)
-        orderings = np.stack(
-            [rng.permutation(member_arr) for _ in range(n_orderings)]
+        # the default draw stays the historical one-permutation-per-row
+        # stream (bit-compatible with every pinned transcript); named
+        # samplers (see ORDERING_SAMPLERS) plug in variance-reduced draws
+        draw = (
+            ORDERING_SAMPLERS[sampler]
+            if isinstance(sampler, str)
+            else (sampler or sample_member_orderings)
         )
+        orderings = draw(member_arr, n_orderings, rng)
         self.prefixes = SampledPrefixes(workload.n_orgs, orderings)
         self.sampled = sorted(m for m in self.prefixes.masks if m)
         self._sampled_t = tuple(self.sampled)
@@ -152,6 +164,20 @@ class RandScheduler(Scheduler):
         runs are deterministic given a seed.
     horizon:
         Optional stop time.
+    epsilon, delta:
+        When ``epsilon > 0`` the budget is the Theorem 5.6 Hoeffding
+        choice ``N = ceil(k^2/eps^2 * ln(k/delta))`` resolved at run time
+        from the *actual* member count (``delta`` is the failure
+        probability, the paper's ``1 - lambda``); ``n_orderings`` is then
+        ignored.  No silent cap is applied -- small ``epsilon`` at large
+        ``k`` asks for exactly what the theorem demands.
+    n_samples:
+        Explicit budget override; beats both ``epsilon`` and
+        ``n_orderings`` when positive.
+    sampler:
+        Ordering sampler name (:data:`~repro.shapley.sampling.
+        ORDERING_SAMPLERS`) or callable; ``None`` keeps the historical
+        uniform draw stream.
     """
 
     name = "Rand"
@@ -161,13 +187,34 @@ class RandScheduler(Scheduler):
         n_orderings: int = 15,
         seed: "int | np.random.Generator | None" = 0,
         horizon: int | None = None,
+        *,
+        epsilon: float = 0.0,
+        delta: float = 0.05,
+        n_samples: int = 0,
+        sampler: "str | Callable | None" = None,
+        name: "str | None" = None,
     ):
         if n_orderings < 1:
             raise ValueError("need at least one sampled ordering")
+        if epsilon < 0 or n_samples < 0:
+            raise ValueError("epsilon and n_samples must be >= 0")
+        if epsilon and not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
         self.n_orderings = n_orderings
         self.horizon = horizon
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.n_samples = int(n_samples)
+        self.sampler = sampler
         self._seed = seed
-        self.name = f"Rand(N={n_orderings})"
+        if name is not None:
+            self.name = name
+        elif self.n_samples:
+            self.name = f"Rand(N={self.n_samples})"
+        elif self.epsilon:
+            self.name = f"Rand(eps={self.epsilon:g},delta={self.delta:g})"
+        else:
+            self.name = f"Rand(N={n_orderings})"
 
     @classmethod
     def from_bounds(
@@ -181,6 +228,16 @@ class RandScheduler(Scheduler):
         """FPRAS constructor: choose N from the Theorem 5.6 Hoeffding bound."""
         return cls(hoeffding_samples(k, epsilon, lam), seed, horizon)
 
+    def resolve_budget(self, k: int) -> int:
+        """The actual N for a ``k``-member run: explicit ``n_samples``,
+        else the Theorem 5.6 choice when ``epsilon`` is set, else the
+        fixed ``n_orderings``."""
+        if self.n_samples:
+            return self.n_samples
+        if self.epsilon:
+            return hoeffding_samples(k, self.epsilon, 1.0 - self.delta)
+        return self.n_orderings
+
     def run(
         self, workload: Workload, members: Iterable[int] | None = None
     ) -> SchedulerResult:
@@ -191,13 +248,15 @@ class RandScheduler(Scheduler):
             if isinstance(self._seed, np.random.Generator)
             else np.random.default_rng(self._seed)
         )
+        n = self.resolve_budget(len(members_t))
         run = RandRun(
             workload,
             members_t,
             grand_mask,
-            self.n_orderings,
+            n,
             rng,
             self.horizon,
+            sampler=self.sampler,
         )
         run.drive()
         return SchedulerResult(
@@ -207,7 +266,7 @@ class RandScheduler(Scheduler):
             schedule=run.grand.schedule(),
             horizon=self.horizon,
             meta={
-                "n_orderings": self.n_orderings,
+                "n_orderings": n,
                 "n_coalitions": len(run.sampled),
             },
         )

@@ -44,6 +44,14 @@ Layers (see DESIGN.md §7 for the policy registry / capability model):
 from __future__ import annotations
 
 from .algorithms.base import PolicyScheduler, Scheduler, SchedulerResult
+from .approx import (
+    AdaptiveScheduler,
+    CertificateSummary,
+    DecisionCertificate,
+    HierScheduler,
+    StratifiedScheduler,
+    agreement_report,
+)
 from .core import (
     ClusterEngine,
     CoalitionFleet,
@@ -114,16 +122,20 @@ from .sim.runner import (
 )
 
 __all__ = [
+    "AdaptiveScheduler",
     "AdmissionController",
     "AdmissionError",
     "CapabilityError",
+    "CertificateSummary",
     "ClusterEngine",
     "ClusterService",
     "CoalitionFleet",
+    "DecisionCertificate",
     "ENTRY_POINT_GROUP",
     "FleetKernel",
     "Gateway",
     "GatewayConfig",
+    "HierScheduler",
     "InstanceSpec",
     "Job",
     "LoadReport",
@@ -148,9 +160,11 @@ __all__ = [
     "ScheduledJob",
     "Scheduler",
     "SchedulerResult",
+    "StratifiedScheduler",
     "TenantSpec",
     "UnknownPolicyError",
     "Workload",
+    "agreement_report",
     "as_scheduler",
     "build_online_policy",
     "build_scheduler",

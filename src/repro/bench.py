@@ -50,10 +50,12 @@ import numpy as np
 __all__ = [
     "BENCHES",
     "machine_meta",
+    "measure_approx",
     "measure_fleet",
     "measure_pipeline",
     "measure_service",
     "measure_gateway",
+    "check_approx_ratios",
     "check_fleet_ratios",
     "check_pipeline_ratios",
     "check_service_ratios",
@@ -942,6 +944,169 @@ def check_gateway_ratios(
 # registry + CLI plumbing
 # ----------------------------------------------------------------------
 #: name -> (measure callable taking the CLI namespace, default output file)
+# ----------------------------------------------------------------------
+# approx bench (PR 9: the certified approximation ladder)
+# ----------------------------------------------------------------------
+#: Gated approx fields -- both are *floors* (quality must not regress):
+#: the realized stratified-vs-uniform variance reduction and the worst
+#: certified-decision rate across the high-``k`` adaptive tiers.
+GATED_APPROX_RATIOS = (
+    "variance_ratio_uniform_over_stratified",
+    "min_certified_rate",
+)
+
+#: (record key, orgs, jobs, n_max, in quick mode) -- the high-``k``
+#: adaptive tiers.  ``n_max`` stays modest: the point is throughput past
+#: the exact ceiling, not maximal certification (EXPERIMENTS.md has the
+#: fairness-vs-budget sweep).
+APPROX_RUNS = (
+    ("adaptive_k50", 50, 150, 16, True),
+    ("adaptive_k100", 100, 200, 16, True),
+    ("adaptive_k200", 200, 300, 16, False),
+)
+
+
+def _variance_ratio(
+    k: int = 8, n: int = 8, rounds: int = 24, seed: int = 3
+) -> dict:
+    """Realized estimator variance of the ordering samplers on one frozen
+    decision: full-lattice coalition values at mid-stream ``t``, ``rounds``
+    independent ``N=n`` draws per sampler, per-org variance averaged.
+    Ratios > 1.0 mean the variance-reduced draw beats uniform."""
+    from .algorithms.greedy import fifo_select
+    from .core.coalition import iter_subsets
+    from .core.fleet import CoalitionFleet
+    from .shapley.sampling import (
+        ORDERING_SAMPLERS,
+        SampledPrefixes,
+        sample_member_orderings,
+    )
+
+    wl = service_workload((1,) * k, 120, seed=seed)
+    grand = (1 << k) - 1
+    fleet = CoalitionFleet(
+        wl, [m for m in iter_subsets(grand) if m], track_events=False
+    )
+    t = max(j.release for j in wl.jobs) // 2
+    values = dict(fleet.values_at(t, select=fifo_select))
+    values[0] = 0
+    member_arr = np.arange(k, dtype=np.int64)
+
+    def mean_var(draw) -> float:
+        ests = []
+        for r in range(rounds):
+            rng = np.random.default_rng(1000 + r)
+            sp = SampledPrefixes(k, draw(member_arr, n, rng))
+            phi = sp.estimate_scaled({m: values[m] for m in sp.masks})
+            ests.append([phi[u] / sp.n for u in range(k)])
+        return float(np.array(ests, dtype=float).var(axis=0).mean())
+
+    uniform = mean_var(sample_member_orderings)
+    out = {"var_uniform": round(uniform, 3)}
+    for name in ("stratified", "antithetic", "stratified_antithetic"):
+        var = mean_var(ORDERING_SAMPLERS[name])
+        out[f"var_{name}"] = round(var, 3)
+        out[f"variance_ratio_uniform_over_{name}"] = round(
+            uniform / var, 3
+        )
+    return out
+
+
+def measure_approx(quick: bool = False) -> dict:
+    """Certified-ladder throughput past the exact ceiling (see
+    BENCH_approx.json): ``ref_adaptive`` decision streams at k=50/100/200
+    with per-decision certificate rates, plus the realized
+    stratified-vs-uniform estimator variance ratio.
+
+    Every tier runs the honest certifier -- a decision is only counted
+    certified when its kind is sound (singleton / degenerate / separated /
+    exact), so the recorded rate is a quality trajectory, not a tuning
+    artifact."""
+    from .algorithms.base import members_mask
+    from .approx import AdaptiveRun
+
+    runs: dict = {}
+    rates = []
+    for key, k, n_jobs, n_max, in_quick in APPROX_RUNS:
+        if quick and not in_quick:
+            continue
+        wl = service_workload((1,) * k, n_jobs, seed=11)
+        members, mask = members_mask(wl, None)
+        best: "dict | None" = None
+        for _ in range(2 if quick else 3):
+            t0 = time.perf_counter()
+            run = AdaptiveRun(
+                wl,
+                members,
+                mask,
+                np.random.default_rng(0),
+                None,
+                n_min=4,
+                n_max=n_max,
+            )
+            n_events = run.drive()
+            wall = time.perf_counter() - t0
+            if best is None or wall < best["wall_time_s"]:
+                s = run.summary()
+                best = {
+                    "n_orgs": k,
+                    "n_jobs": len(wl.jobs),
+                    "n_events": n_events,
+                    "n_max": n_max,
+                    "wall_time_s": round(wall, 4),
+                    "events_per_sec": round(n_events / wall, 1),
+                    "decisions": s.decisions,
+                    "certified": s.certified,
+                    "certified_rate": round(
+                        s.certified / max(1, s.decisions), 4
+                    ),
+                    "samples_mean": round(s.samples_mean, 2),
+                }
+        runs[key] = best
+        rates.append(best["certified_rate"])
+    # deterministic (fixed seeds, no timing) -- quick mode keeps the full
+    # round count so the gate compares identical numbers
+    variance = _variance_ratio(rounds=24)
+    return {
+        "bench": "approx",
+        "runs": runs,
+        "min_certified_rate": min(rates),
+        **variance,
+        **machine_meta(),
+    }
+
+
+def check_approx_ratios(
+    measured: dict, committed_path: "str | Path", tolerance: float = 0.35
+) -> "list[str]":
+    """The approx perf-gate: quality *floors*.  The variance-reduction
+    ratio must stay >= 1.0 and must not fall below the committed value
+    minus the tolerance; the worst certified rate must not fall below the
+    committed value minus the tolerance.  Returns regression messages
+    (empty = passes)."""
+    committed = json.loads(Path(committed_path).read_text())
+    problems = []
+    for field in GATED_APPROX_RATIOS:
+        want = committed.get(field)
+        if want is None:
+            problems.append(f"{field}: missing from {committed_path}")
+            continue
+        floor = want * (1.0 - tolerance)
+        got = measured.get(field)
+        if got is None or got < floor:
+            problems.append(
+                f"{field}: measured {got} < committed {want} - "
+                f"{tolerance:.0%} tolerance (floor {floor:.3f})"
+            )
+    ratio = measured.get("variance_ratio_uniform_over_stratified")
+    if ratio is not None and ratio < 1.0:
+        problems.append(
+            f"variance_ratio_uniform_over_stratified: {ratio} < 1.0 -- "
+            f"stratification is supposed to be pure profit"
+        )
+    return problems
+
+
 BENCHES = {
     "fleet": (
         lambda args: measure_fleet(quick=args.quick),
@@ -960,6 +1125,10 @@ BENCHES = {
     "gateway": (
         lambda args: measure_gateway(quick=args.quick),
         "BENCH_gateway.json",
+    ),
+    "approx": (
+        lambda args: measure_approx(quick=args.quick),
+        "BENCH_approx.json",
     ),
 }
 
@@ -986,7 +1155,8 @@ def main(args: argparse.Namespace) -> int:
         checker = {"fleet": (check_fleet_ratios, GATED_RATIOS),
                    "pipeline": (check_pipeline_ratios, GATED_PIPELINE_RATIOS),
                    "service": (check_service_ratios, GATED_SERVICE_RATIOS),
-                   "gateway": (check_gateway_ratios, GATED_GATEWAY_RATIOS)}
+                   "gateway": (check_gateway_ratios, GATED_GATEWAY_RATIOS),
+                   "approx": (check_approx_ratios, GATED_APPROX_RATIOS)}
         if name in checker and args.check_against is not None:
             check, fields = checker[name]
             problems = check(payload, args.check_against, args.tolerance)

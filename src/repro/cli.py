@@ -96,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     gap = sub.add_parser("gap", help="Theorem 5.3 order/reverse gap")
     gap.add_argument("--max-orgs", type=int, default=256)
+    gap.add_argument(
+        "--policy", default=None, metavar="NAME[:k=v,...]",
+        help="also *run* this registered policy on the gadget at each m "
+        "(sampled policies go past the exact max_orgs=10 ceiling; "
+        "exact ones are refused there)",
+    )
+    gap.add_argument("--job-size", type=int, default=3)
+    gap.add_argument("--seed", type=int, default=0)
 
     gadget = sub.add_parser("gadget", help="Theorem 5.1 SUBSETSUM gadget")
     gadget.add_argument("values", help="comma-separated positive ints, e.g. 1,2")
@@ -299,7 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
              "(fleet kernel speedups, pipeline fan-out, service throughput)",
     )
     bench.add_argument(
-        "bench", choices=("fleet", "pipeline", "service", "gateway", "all"),
+        "bench",
+        choices=("fleet", "pipeline", "service", "gateway", "approx", "all"),
         help="which trajectory to record (all: every registered bench)",
     )
     bench.add_argument("--output", default=None,
@@ -351,14 +360,30 @@ def _cmd_figure7() -> None:
     print(f"  O(1)-first greedy: {worst:.0%}")
 
 
-def _cmd_gap(max_orgs: int) -> None:
-    from .analysis.inapprox import order_reverse_gap
+def _cmd_gap(
+    max_orgs: int,
+    policy: "str | None" = None,
+    job_size: int = 3,
+    seed: int = 0,
+) -> None:
+    from .analysis.inapprox import order_reverse_gap, policy_order_gap
+    from .policies import CapabilityError
 
     print("Theorem 5.3 -- relative distance between sigma_ord and sigma_rev")
     m = 2
     while m <= max_orgs:
-        g = order_reverse_gap(m, 3)
-        print(f"  m={m:>5}: {g.ratio:.4f}")
+        g = order_reverse_gap(m, job_size)
+        line = f"  m={m:>5}: {g.ratio:.4f}"
+        if policy:
+            try:
+                r = policy_order_gap(policy, m, job_size, seed=seed)
+                line += (
+                    f"   {policy}: d(ord)={r['ratio_ord']:.4f}"
+                    f" d(rev)={r['ratio_rev']:.4f}"
+                )
+            except CapabilityError as exc:
+                line += f"   {policy}: refused ({exc})"
+        print(line)
         m *= 2
     print("  -> tends to 1: no (1/2 - eps)-approximation can separate them")
 
@@ -708,7 +733,7 @@ def main(argv: "list[str] | None" = None) -> int:
     elif args.command == "figure7":
         _cmd_figure7()
     elif args.command == "gap":
-        _cmd_gap(args.max_orgs)
+        _cmd_gap(args.max_orgs, args.policy, args.job_size, args.seed)
     elif args.command == "gadget":
         _cmd_gadget(args.values, args.x)
     elif args.command == "demo":

@@ -112,7 +112,12 @@ def _overflow_bound(total_units: int, max_release: int, n_machines: int) -> int:
 
 def kernel_certified(workload: Workload, horizon: "int | None") -> bool:
     """True when int64 arithmetic provably cannot overflow for any event-time
-    update or query on ``workload`` (the kernel precondition)."""
+    update or query on ``workload`` (the kernel precondition).  Coalition
+    masks are stored as int64 rows, so workloads past 63 organizations
+    (the approximation ladder's high-``k`` regime) are inadmissible and
+    stay on the per-engine path."""
+    if workload.n_orgs > 63:
+        return False
     total = sum(j.size for j in workload.jobs)
     rel = max((j.release for j in workload.jobs), default=0)
     if horizon is not None:

@@ -214,8 +214,9 @@ def run_instance_spec(
     Row resolution order: an explicit ``algorithms`` callable wins, then
     the spec's embedded ``policies`` (each built through the policy
     registry with the instance's derived seed), then the named
-    portfolio.  The exact REF reference also resolves through the
-    registry.
+    portfolio.  The ``spec.reference`` policy (exact REF by default; an
+    approximate stand-in for high-``k`` scenarios) also resolves through
+    the registry, with the instance's derived seed.
     """
     build = get_family(spec.family)
     workload, alg_seed = build(spec, inst)
@@ -232,7 +233,9 @@ def run_instance_spec(
         workload,
         spec.duration,
         portfolio,
-        build_scheduler("ref", horizon=spec.duration),
+        build_scheduler(
+            spec.reference, seed=alg_seed, horizon=spec.duration
+        ),
         spec.metrics,
     )
     return PipelineInstanceResult(
@@ -296,7 +299,15 @@ def run_shard(
     build = get_family(spec.family)
     prepared = [(inst, *build(spec, inst)) for inst in insts]
     rows = None
-    if store is not None and algorithms is None and spec.metrics:
+    # the result store keys rows by (workload, policy, seed, metrics)
+    # only -- a non-default reference changes every metric value, so it
+    # bypasses the store rather than poisoning REF-keyed rows
+    if (
+        store is not None
+        and algorithms is None
+        and spec.metrics
+        and spec.reference == "ref"
+    ):
         rows = spec.policy_rows()
     keys_by_inst: dict[str, list[str]] = {}
     hit_metrics: dict[str, dict[str, dict[str, float]]] = {}
@@ -320,19 +331,21 @@ def run_shard(
                         assembled[m][r["algorithm"]] = r["metrics"][m]
                 hit_metrics[inst.key] = assembled
                 continue
-        need_ref.append((inst, workload))
+        need_ref.append((inst, workload, alg_seed))
     refs: dict[str, object] = {}
     if need_ref:
-        if batch:
+        # the fused multi-instance kernel is REF-only; approximate
+        # references run per-instance through the registry
+        if batch and spec.reference == "ref":
             batched = ref_results_batched(
-                [(w, spec.duration) for _, w in need_ref]
+                [(w, spec.duration) for _, w, _ in need_ref]
             )
         else:
             batched = [None] * len(need_ref)
-        for (inst, workload), ref_result in zip(need_ref, batched):
+        for (inst, workload, alg_seed), ref_result in zip(need_ref, batched):
             if ref_result is None:
                 ref_result = build_scheduler(
-                    "ref", horizon=spec.duration
+                    spec.reference, seed=alg_seed, horizon=spec.duration
                 ).run(workload)
             refs[inst.key] = ref_result
     results: list[PipelineInstanceResult] = []
@@ -354,7 +367,7 @@ def run_shard(
                 workload,
                 spec.duration,
                 portfolio,
-                "ref",
+                spec.reference,
                 spec.metrics,
                 reference_result=refs[inst.key],
             )

@@ -30,6 +30,9 @@ family         instances it builds
                bursts offloading onto each other's idle machines
 ``churn``      org-count x Zipf-exponent heterogeneity sweeps with
                common-random-number windows (generalizes Figure 10)
+``scale``      high-``k`` federations (25-200 orgs) past REF's exact
+               ceiling, scored against an approximate reference
+               (DESIGN.md §12; ``spec.reference``)
 =============  ========================================================
 
 Register your own with :func:`register_family` / :func:`register_portfolio`
@@ -362,6 +365,42 @@ def federated_instance(
     return workload, int(rng.integers(0, 2**31 - 1))
 
 
+def scale_instance(
+    spec: ScenarioSpec, inst: InstanceSpec
+) -> tuple[Workload, int]:
+    """High-``k`` federation cell: the federated burst generator pushed
+    past REF's exact ceiling (org counts swept via ``spec.org_counts``,
+    typically 25-200).
+
+    Seed scheme: ``crc32(f"{trace}/scale/{k}/{repeat}/{seed}")`` drives
+    federation generation, window position and the algorithm seed, in
+    that order -- the org count is part of the key, so sweep cells are
+    independent draws (no CRN across ``k``; at this scale the trend
+    dwarfs window noise).  Sample budgets are swept through the
+    portfolio rows (e.g. the ``approx`` portfolio), not the instance.
+    """
+    k = int(inst.param("n_orgs", spec.n_orgs))
+    rng = derive_rng(f"{inst.trace}/scale/{k}/{inst.repeat}/{spec.seed}")
+    horizon = spec.duration * spec.pool_factor
+    fspec = FederatedSpec(
+        n_orgs=k,
+        horizon=horizon,
+        machines_per_org=int(spec.param("machines_per_org", 2)),
+        users_per_org=int(spec.param("users_per_org", 3)),
+        load=float(spec.param("load", 0.7)),
+        peak_amplitude=float(spec.param("peak_amplitude", 0.5)),
+        day_length=int(spec.param("day_length", spec.duration)),
+    )
+    records, user_map = federated_records(fspec, rng)
+    t_start = int(rng.integers(0, max(1, horizon - spec.duration)))
+    machines = machine_split(
+        k * fspec.machines_per_org, k, spec.machine_dist, spec.zipf_exponent
+    )
+    full = build_workload(records, machines, user_map)
+    workload = full.window(t_start, t_start + spec.duration)
+    return workload, int(rng.integers(0, 2**31 - 1))
+
+
 # ----------------------------------------------------------------------
 # built-in registrations
 # ----------------------------------------------------------------------
@@ -388,11 +427,24 @@ register_portfolio_specs(
     "contribution",
     (PolicySpec.make("rand", n_orderings=15), PolicySpec("directcontr")),
 )
+register_portfolio_specs(
+    "approx",
+    # fairness-vs-budget ladder: uniform RAND vs the variance-reduced and
+    # certified samplers at a low and a moderate ordering budget
+    (
+        PolicySpec.make("rand", n_orderings=5),
+        PolicySpec.make("rand", n_orderings=15),
+        PolicySpec.make("ref_stratified", n_orderings=5),
+        PolicySpec.make("ref_stratified", n_orderings=15),
+        PolicySpec.make("ref_adaptive", n_max=64),
+    ),
+)
 
 register_family("synthetic", synthetic_instance)
 register_family("churn", churn_instance)
 register_family("swf", swf_instance)
 register_family("federated", federated_instance)
+register_family("scale", scale_instance)
 
 register_scenario(
     Scenario(
@@ -443,6 +495,19 @@ register_scenario(
             family="federated", traces=("FED",), n_orgs=4, duration=2_500,
             n_repeats=3, seed=0, machine_dist="uniform",
             metrics=("avg_delay", "unfairness"),
+        ),
+    )
+)
+register_scenario(
+    Scenario(
+        "scale",
+        "Certified approximation at scale: 25-100 orgs, budget ladder vs ref_hier",
+        ScenarioSpec(
+            family="scale", traces=("SCALE",), duration=400, n_repeats=2,
+            seed=0, machine_dist="uniform", org_counts=(25, 50, 100),
+            portfolio="approx", metrics=("avg_delay", "unfairness"),
+            reference="ref_hier:block_size=5",
+            params=(("load", 1.2), ("peak_amplitude", 0.9)),
         ),
     )
 )

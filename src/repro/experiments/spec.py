@@ -124,7 +124,13 @@ class ScenarioSpec:
         caches stay valid.
     metrics:
         Named scoring functions (see ``repro.sim.runner.METRICS``); every
-        algorithm is scored against the exact REF reference.
+        algorithm is scored against the ``reference`` policy's schedule.
+    reference:
+        The policy every metric scores against (default ``"ref"``, the
+        exact exponential benchmark).  High-``k`` scenarios past REF's
+        ``max_orgs=10`` ceiling name an approximate stand-in instead
+        (e.g. ``"ref_hier:block_size=8"`` for the ``scale`` family);
+        parsed as a :class:`~repro.policies.PolicySpec` CLI string.
     seed:
         Master seed; per-instance seeds are derived, never shared.
     org_counts, zipf_exponents:
@@ -154,6 +160,7 @@ class ScenarioSpec:
     org_counts: tuple[int, ...] = ()
     zipf_exponents: tuple[float, ...] = ()
     swf_path: "str | None" = None
+    reference: str = "ref"
     params: tuple[tuple[str, "int | float | str"], ...] = field(
         default_factory=tuple
     )
@@ -201,15 +208,17 @@ class ScenarioSpec:
         metric *names* — yields a different hash and therefore a fresh
         cache file.
 
-        Migration note: fields added after PR 2 (currently ``policies``)
-        are dropped from the payload while at their "absent" default, so
-        every pre-registry spec keeps its original hash and on-disk
-        caches survive the API redesign; a spec that *uses* the new
-        field hashes fresh.
+        Migration note: fields added after PR 2 (currently ``policies``
+        and ``reference``) are dropped from the payload while at their
+        "absent" default, so every pre-registry spec keeps its original
+        hash and on-disk caches survive the API redesign; a spec that
+        *uses* a new field hashes fresh.
         """
         fields = asdict(self)
         if not self.policies:
             fields.pop("policies")
+        if self.reference == "ref":
+            fields.pop("reference")
         payload = json.dumps(
             fields, sort_keys=True, separators=(",", ":"), default=str
         )

@@ -521,7 +521,47 @@ def _ref_online(service: "ClusterService", params: dict) -> "OnlinePolicy":
 def _rand_online(service: "ClusterService", params: dict) -> "OnlinePolicy":
     from .service.service import _RandPolicy
 
-    return _RandPolicy(service, int(params["n_orderings"]))
+    return _RandPolicy(
+        service,
+        int(params["n_orderings"]),
+        epsilon=float(params["epsilon"]),
+        delta=float(params["delta"]),
+        n_samples=int(params["n_samples"]),
+    )
+
+
+def _stratified_online(
+    service: "ClusterService", params: dict
+) -> "OnlinePolicy":
+    from .service.service import _RandPolicy
+
+    sampler = (
+        "stratified_antithetic" if params["antithetic"] else "stratified"
+    )
+    return _RandPolicy(
+        service,
+        int(params["n_orderings"]),
+        epsilon=float(params["epsilon"]),
+        delta=float(params["delta"]),
+        n_samples=int(params["n_samples"]),
+        sampler=sampler,
+        name="RefStrat(online)",
+    )
+
+
+def _adaptive_online(
+    service: "ClusterService", params: dict
+) -> "OnlinePolicy":
+    from .approx.online import _AdaptivePolicy
+
+    return _AdaptivePolicy(
+        service,
+        epsilon=float(params["epsilon"]),
+        delta=float(params["delta"]),
+        n_min=int(params["n_min"]),
+        n_max=int(params["n_max"]),
+        sampler=str(params["sampler"]),
+    )
 
 
 def _single_online(batch_factory: BatchFactory) -> OnlineFactory:
@@ -588,20 +628,143 @@ _register_builtin(
         step=False, dynamic_membership=False, max_orgs=REF_MAX_ORGS
     ),
 )
+#: Budget knobs shared by the sampled policies (``rand`` and the
+#: approximation ladder): explicit ``n_samples`` beats the Theorem 5.6
+#: ``epsilon``/``delta`` Hoeffding choice beats fixed ``n_orderings``.
+_BUDGET_PARAMS = (
+    ParamSpec("n_orderings", int, 15, "sampled joining orders per estimate"),
+    ParamSpec(
+        "epsilon", float, 0.0,
+        "Theorem 5.6 accuracy target (0: use n_orderings)",
+    ),
+    ParamSpec(
+        "delta", float, 0.05, "failure probability for the epsilon budget"
+    ),
+    ParamSpec(
+        "n_samples", int, 0, "explicit budget override (beats epsilon)"
+    ),
+)
+
+
+def _build_stratified(params: dict, seed: int, horizon: "int | None"):
+    from .approx import StratifiedScheduler
+
+    return StratifiedScheduler(
+        n_orderings=int(params["n_orderings"]),
+        seed=seed,
+        horizon=horizon,
+        epsilon=float(params["epsilon"]),
+        delta=float(params["delta"]),
+        n_samples=int(params["n_samples"]),
+        antithetic=bool(params["antithetic"]),
+    )
+
+
+def _build_adaptive(params: dict, seed: int, horizon: "int | None"):
+    from .approx import AdaptiveScheduler
+
+    return AdaptiveScheduler(
+        seed=seed,
+        horizon=horizon,
+        epsilon=float(params["epsilon"]),
+        delta=float(params["delta"]),
+        n_min=int(params["n_min"]),
+        n_max=int(params["n_max"]),
+        sampler=str(params["sampler"]),
+    )
+
+
+def _build_hier(params: dict, seed: int, horizon: "int | None"):
+    from .approx import HierScheduler
+
+    return HierScheduler(
+        block_size=int(params["block_size"]),
+        n_orderings=int(params["n_orderings"]),
+        seed=seed,
+        horizon=horizon,
+        max_exact_blocks=int(params["max_exact_blocks"]),
+    )
+
+
 _register_builtin(
     "rand",
     "randomized sampled-coalition fair scheduler (FPRAS for unit jobs)",
     lambda params, seed, horizon: RandScheduler(
-        n_orderings=int(params["n_orderings"]), seed=seed, horizon=horizon
+        n_orderings=int(params["n_orderings"]),
+        seed=seed,
+        horizon=horizon,
+        epsilon=float(params["epsilon"]),
+        delta=float(params["delta"]),
+        n_samples=int(params["n_samples"]),
     ),
     paper_section="§5.2, Fig. 6",
     capabilities=PolicyCapabilities(needs_seed=True, exact=False),
-    params=(
+    params=_BUDGET_PARAMS,
+    online_factory=_rand_online,
+)
+_register_builtin(
+    "ref_stratified",
+    "RAND on variance-reduced (stratified/antithetic) joining orders",
+    _build_stratified,
+    paper_section="§5.2 + DESIGN.md §12",
+    capabilities=PolicyCapabilities(needs_seed=True, exact=False),
+    params=_BUDGET_PARAMS
+    + (
         ParamSpec(
-            "n_orderings", int, 15, "sampled joining orders per estimate"
+            "antithetic", bool, True,
+            "pair every stratified rotation with its reverse",
         ),
     ),
-    online_factory=_rand_online,
+    online_factory=_stratified_online,
+)
+_register_builtin(
+    "ref_adaptive",
+    "certified adaptive-N sampled Shapley (per-decision certificates)",
+    _build_adaptive,
+    paper_section="§5.2, Thm. 5.6 + DESIGN.md §12",
+    capabilities=PolicyCapabilities(needs_seed=True, exact=False),
+    params=(
+        ParamSpec(
+            "epsilon", float, 0.1,
+            "accuracy target for the auto (n_max=0) budget",
+        ),
+        ParamSpec(
+            "delta", float, 0.05,
+            "per-decision certificate failure probability",
+        ),
+        ParamSpec("n_min", int, 8, "first escalation wave size"),
+        ParamSpec(
+            "n_max", int, 1024,
+            "escalation budget cap (0: Theorem 5.6 worst case)",
+        ),
+        ParamSpec(
+            "sampler", str, "antithetic",
+            "ordering sampler (see ORDERING_SAMPLERS)",
+        ),
+    ),
+    online_factory=_adaptive_online,
+)
+_register_builtin(
+    "ref_hier",
+    "hierarchical block-decomposed Shapley (exact within <=10-org blocks)",
+    _build_hier,
+    paper_section="§3 + DESIGN.md §12",
+    capabilities=PolicyCapabilities(
+        step=False, dynamic_membership=False, needs_seed=True, exact=False
+    ),
+    params=(
+        ParamSpec(
+            "block_size", int, 10, "organizations per exact block (<= 10)"
+        ),
+        ParamSpec(
+            "n_orderings", int, 15,
+            "sampled block-joining orders past max_exact_blocks",
+        ),
+        ParamSpec(
+            "max_exact_blocks", int, 10,
+            "block count up to which the across game is exact",
+        ),
+    ),
 )
 _register_builtin(
     "directcontr",

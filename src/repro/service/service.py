@@ -382,14 +382,37 @@ class _RandPolicy(_FleetPolicy):
     the new member set (continuing the policy's RNG stream) and the
     oracle engines restart at the change epoch; the physical engine keeps
     its history like every other policy.
+
+    The budget controls mirror :class:`~repro.algorithms.rand.
+    RandScheduler`: explicit ``n_samples`` beats the Theorem 5.6
+    ``epsilon``/``delta`` choice beats the fixed ``n_orderings``, and an
+    epsilon-driven budget is re-resolved from the *live* member count at
+    every membership epoch.  ``sampler`` selects the ordering draw
+    (:data:`~repro.shapley.sampling.ORDERING_SAMPLERS`), which is how
+    ``ref_stratified`` rides this same adapter online.
     """
 
-    def __init__(self, service: "ClusterService", n_orderings: int = 15):
+    def __init__(
+        self,
+        service: "ClusterService",
+        n_orderings: int = 15,
+        *,
+        epsilon: float = 0.0,
+        delta: float = 0.05,
+        n_samples: int = 0,
+        sampler: "str | None" = None,
+        name: "str | None" = None,
+    ):
         super().__init__(service)
         self.n_orderings = int(n_orderings)
-        self.name = f"Rand(N={self.n_orderings})"
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.n_samples = int(n_samples)
+        self.sampler = sampler
         self.rng = np.random.default_rng(service.seed)
         self.grand_mask = service.census.members_mask
+        budget = self._budget(len(service.census.members))
+        self.name = name or f"Rand(N={budget})"
         genesis = service.genesis_workload()
         carrier = CoalitionFleet(
             genesis, (self.grand_mask,), horizon=service.horizon
@@ -399,9 +422,10 @@ class _RandPolicy(_FleetPolicy):
             genesis,
             service.census.members,
             self.grand_mask,
-            self.n_orderings,
+            budget,
             self.rng,
             service.horizon,
+            sampler=sampler,
             oracle_factory=lambda sampled: CoalitionFleet(
                 genesis, sampled, horizon=service.horizon, track_events=False
             ),
@@ -430,15 +454,27 @@ class _RandPolicy(_FleetPolicy):
         self._shrink_grand(org, machine_ids)
         self._redraw()
 
+    def _budget(self, k: int) -> int:
+        """The joining-order budget for ``k`` live members (explicit
+        ``n_samples``, else Theorem 5.6, else fixed ``n_orderings``)."""
+        if self.n_samples:
+            return self.n_samples
+        if self.epsilon:
+            from ..shapley.sampling import hoeffding_samples
+
+            return hoeffding_samples(k, self.epsilon, 1.0 - self.delta)
+        return self.n_orderings
+
     def _redraw(self) -> None:
         service = self.service
         self.run = RandRun(
             service.zero_workload(),
             service.census.members,
             self.grand_mask,
-            self.n_orderings,
+            self._budget(len(service.census.members)),
             self.rng,
             service.horizon,
+            sampler=self.sampler,
             oracle_factory=self._epoch_oracle,
             fleet=self.fleet,
         )

@@ -1,0 +1,99 @@
+"""Confidence intervals for sampled Shapley estimates (DESIGN.md §12.2).
+
+The adaptive sampler (:mod:`repro.approx.adaptive`) does not need tight
+contribution values -- it needs the *right winner* of the Fig. 3
+``argmax(phi - psi)`` selection.  This module supplies the two interval
+constructions it races against each other and the argmax-separation rule
+that turns per-player intervals into a per-decision certificate:
+
+* :func:`hoeffding_halfwidth` -- distribution-free, needs only the range
+  bound ``R`` on one sampled marginal contribution (the paper's Theorem
+  5.6 machinery, reshaped from an a-priori sample-size choice into an
+  a-posteriori interval);
+* :func:`empirical_bernstein_halfwidth` -- the Audibert-Munos-Szepesvari
+  empirical-Bernstein bound: variance-adaptive, so near-deterministic
+  marginals (common in lightly-loaded clusters) certify after a handful
+  of samples where Hoeffding would need hundreds;
+* :func:`separates_argmax` -- the stopping rule: the winner's lower
+  confidence bound must clear every rival's upper bound.
+
+All half-widths are on the *mean marginal contribution* (phi-hat); the
+caller rescales psi-offsets itself because the scheduler compares
+``phi - psi`` keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = [
+    "empirical_bernstein_halfwidth",
+    "hoeffding_halfwidth",
+    "interval_halfwidth",
+    "separates_argmax",
+]
+
+
+def hoeffding_halfwidth(n: int, value_range: float, delta: float) -> float:
+    """Hoeffding half-width: with probability ``1 - delta`` the sample
+    mean of ``n`` iid draws from ``[0, value_range]`` is within this of
+    the true mean.  ``R * sqrt(ln(2/delta) / (2n))``."""
+    if n < 1:
+        raise ValueError("need at least one sample")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if value_range < 0:
+        raise ValueError("value_range must be >= 0")
+    return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+def empirical_bernstein_halfwidth(
+    n: int, sample_variance: float, value_range: float, delta: float
+) -> float:
+    """Empirical-Bernstein half-width (Audibert et al. 2009, Thm. 1):
+    ``sqrt(2 V ln(3/delta) / n) + 3 R ln(3/delta) / n`` with ``V`` the
+    (biased, /n) sample variance.  Variance-adaptive: the ``R`` term
+    decays as ``1/n``, so low-variance marginals certify quickly."""
+    if n < 1:
+        raise ValueError("need at least one sample")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if sample_variance < 0 or value_range < 0:
+        raise ValueError("variance and range must be >= 0")
+    log_term = math.log(3.0 / delta)
+    return math.sqrt(2.0 * sample_variance * log_term / n) + (
+        3.0 * value_range * log_term / n
+    )
+
+
+def interval_halfwidth(
+    n: int, sample_variance: float, value_range: float, delta: float
+) -> float:
+    """The tighter of the two valid half-widths at the same ``delta``
+    (each holds with probability ``1 - delta``, so their minimum holds
+    with probability ``1 - 2 delta``; callers budget for the factor)."""
+    return min(
+        hoeffding_halfwidth(n, value_range, delta),
+        empirical_bernstein_halfwidth(n, sample_variance, value_range, delta),
+    )
+
+
+def separates_argmax(
+    winner: int,
+    rivals: Sequence[int],
+    means: Mapping[int, float],
+    halfwidths: Mapping[int, float],
+) -> bool:
+    """The certification rule: ``winner``'s lower confidence bound strictly
+    clears every rival's upper bound, so no rival's true key can reach the
+    winner's.  Exact ties are *not* certifiable by sampling (their
+    intervals always overlap); degenerate cases are certified upstream by
+    structural arguments, never here."""
+    lo = means[winner] - halfwidths[winner]
+    for u in rivals:
+        if u == winner:
+            continue
+        if not lo > means[u] + halfwidths[u]:
+            return False
+    return True

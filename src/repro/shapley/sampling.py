@@ -25,9 +25,13 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 __all__ = [
+    "ORDERING_SAMPLERS",
+    "antithetic_orderings",
     "hoeffding_samples",
     "sample_orderings",
+    "sample_member_orderings",
     "shapley_sample",
+    "stratified_orderings",
     "SampledPrefixes",
 ]
 
@@ -64,6 +68,98 @@ def sample_orderings(
     if n < 1:
         raise ValueError("need at least one ordering")
     return np.array([rng.permutation(k) for _ in range(n)], dtype=np.int64)
+
+
+def sample_member_orderings(
+    members: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` independent uniform permutations of ``members`` as an
+    ``(n, len(members))`` int64 array.  This is the exact draw sequence
+    :class:`~repro.algorithms.rand.RandRun` has always used (one
+    ``rng.permutation`` call per row), factored out so the variance-reduced
+    samplers below are drop-in replacements on the same RNG stream."""
+    if n < 1:
+        raise ValueError("need at least one ordering")
+    member_arr = np.asarray(members, dtype=np.int64)
+    return np.stack([rng.permutation(member_arr) for _ in range(n)])
+
+
+def antithetic_orderings(
+    members: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Antithetic pairs: each drawn permutation is followed by its reverse
+    (DESIGN.md §12.1).  A player joining early in ``pi`` joins late in
+    ``reversed(pi)``, so the two marginal samples are negatively
+    correlated and their average has lower variance than two independent
+    draws.  Each *pair* is an unbiased two-sample estimate; an odd ``n``
+    truncates the last pair (slight imbalance, still unbiased per row)."""
+    if n < 1:
+        raise ValueError("need at least one ordering")
+    member_arr = np.asarray(members, dtype=np.int64)
+    rows: list[np.ndarray] = []
+    while len(rows) < n:
+        pi = rng.permutation(member_arr)
+        rows.append(pi)
+        rows.append(pi[::-1])
+    return np.stack(rows[:n])
+
+
+def stratified_orderings(
+    members: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    antithetic: bool = True,
+) -> np.ndarray:
+    """Position-stratified (and optionally antithetic) joining orders.
+
+    Uniform sampling lets a player's *position* histogram drift (it may
+    land "late" in most of a small batch), and position is the dominant
+    variance driver of a marginal contribution.  Stratification emits the
+    ``k`` cyclic rotations of each drawn permutation: across one block
+    every player occupies every position exactly once, removing the
+    position-count variance entirely.  With ``antithetic=True`` each
+    rotation is immediately followed by its reverse (block size ``2k``),
+    composing both variance-reduction devices.
+
+    Rows remain identically distributed uniform permutations (a rotation
+    or reversal of a uniform permutation is uniform), so
+    :class:`SampledPrefixes` estimates stay unbiased; only the *joint*
+    distribution changes.  ``n`` not divisible by the block size truncates
+    the last block, trading a little balance for the exact budget.
+    """
+    if n < 1:
+        raise ValueError("need at least one ordering")
+    member_arr = np.asarray(members, dtype=np.int64)
+    k = len(member_arr)
+    if k == 0:
+        raise ValueError("need at least one member")
+    rows: list[np.ndarray] = []
+    while len(rows) < n:
+        pi = rng.permutation(member_arr)
+        for shift in range(k):
+            rot = np.roll(pi, -shift)
+            rows.append(rot)
+            if antithetic:
+                rows.append(rot[::-1])
+    return np.stack(rows[:n])
+
+
+def _stratified_plain(
+    members: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    return stratified_orderings(members, n, rng, antithetic=False)
+
+
+#: Named ordering samplers, all sharing the signature
+#: ``(members, n, rng) -> (n, k) int64 array`` -- what
+#: :class:`~repro.algorithms.rand.RandRun` accepts as its ``sampler``.
+ORDERING_SAMPLERS: "dict[str, Callable[[np.ndarray, int, np.random.Generator], np.ndarray]]" = {
+    "uniform": sample_member_orderings,
+    "antithetic": antithetic_orderings,
+    "stratified": _stratified_plain,
+    "stratified_antithetic": stratified_orderings,
+}
 
 
 class SampledPrefixes:
@@ -104,6 +200,7 @@ class SampledPrefixes:
         )
         self.masks: frozenset[int] = frozenset(masks)
         self._coef_cache: "tuple[tuple[int, ...], np.ndarray, int] | None" = None
+        self._idx_cache: "tuple[tuple[int, ...], dict[int, tuple[np.ndarray, np.ndarray]]] | None" = None
 
     def _coefficients(
         self, order: "tuple[int, ...]"
@@ -138,6 +235,46 @@ class SampledPrefixes:
         if max_abs_value < 0 or weight * max_abs_value >= 1 << 62:
             return None
         return (coef @ values).tolist()
+
+    def sample_indices(
+        self, order: "tuple[int, ...]"
+    ) -> "dict[int, tuple[np.ndarray, np.ndarray]]":
+        """Per-player ``(pred_idx, with_idx)`` int64 index arrays into a
+        dense value vector aligned with ``order`` (``pred_idx == -1``
+        marks the empty predecessor coalition, whose value is 0).  Cached
+        per coalition order; players with no sampled pairs are absent."""
+        cached = self._idx_cache
+        if cached is not None and cached[0] == order:
+            return cached[1]
+        index = {m: i for i, m in enumerate(order)}
+        out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for u in range(self.k):
+            if not self.pairs[u]:
+                continue
+            pred_idx = np.array(
+                [index[p] if p else -1 for p, _ in self.pairs[u]],
+                dtype=np.int64,
+            )
+            with_idx = np.array(
+                [index[w] for _, w in self.pairs[u]], dtype=np.int64
+            )
+            out[u] = (pred_idx, with_idx)
+        self._idx_cache = (order, out)
+        return out
+
+    def marginal_samples(
+        self, order: "tuple[int, ...]", values: np.ndarray
+    ) -> "dict[int, np.ndarray]":
+        """Per-player vectors of the individual sampled marginal
+        contributions (one entry per ordering containing the player), from
+        a dense int64 value vector aligned with ``order``.  This is the
+        per-sample view the adaptive certifier needs for empirical
+        variance; ``sum(marginal_samples[u]) == estimate_scaled[u]``."""
+        out: dict[int, np.ndarray] = {}
+        for u, (pred_idx, with_idx) in self.sample_indices(order).items():
+            pred_vals = np.where(pred_idx >= 0, values[pred_idx], 0)
+            out[u] = values[with_idx] - pred_vals
+        return out
 
     def estimate_scaled(self, values: Mapping[int, int]) -> list[int]:
         """Sum of sampled marginal contributions per player (= N * phi-hat).
