@@ -38,7 +38,10 @@ Layers (see DESIGN.md §7 for the policy registry / capability model):
 * **gateway fleet** — :class:`Gateway`, :class:`GatewayConfig`,
   :class:`TenantSpec`, :class:`AdmissionController`,
   :class:`AdmissionError`, :class:`LoadSpec`, :func:`run_loadgen`
-  (DESIGN.md §11: the sharded multi-tenant front door).
+  (DESIGN.md §11: the sharded multi-tenant front door);
+* **self-healing** — :class:`SupervisorPolicy`, :class:`FaultPlan`,
+  :class:`ShardUnavailable` (DESIGN.md §13: supervision, deterministic
+  fault injection, graceful degradation).
 """
 
 from __future__ import annotations
@@ -67,10 +70,13 @@ from .experiments.pipeline import PipelineResult, run_pipeline
 from .gateway import (
     AdmissionController,
     AdmissionError,
+    FaultPlan,
     Gateway,
     GatewayConfig,
     LoadReport,
     LoadSpec,
+    ShardUnavailable,
+    SupervisorPolicy,
     TenantSpec,
     run_loadgen,
 )
@@ -132,6 +138,7 @@ __all__ = [
     "CoalitionFleet",
     "DecisionCertificate",
     "ENTRY_POINT_GROUP",
+    "FaultPlan",
     "FleetKernel",
     "Gateway",
     "GatewayConfig",
@@ -160,7 +167,9 @@ __all__ = [
     "ScheduledJob",
     "Scheduler",
     "SchedulerResult",
+    "ShardUnavailable",
     "StratifiedScheduler",
+    "SupervisorPolicy",
     "TenantSpec",
     "UnknownPolicyError",
     "Workload",

@@ -734,6 +734,12 @@ def check_service_ratios(
 #: the tolerance.  Absolute events/sec is environment; the tax is code.
 GATED_GATEWAY_RATIOS = ("ratio_gateway_over_inproc",)
 
+#: Absolute ceiling on the chaos tier's mean time to recovery (detection
+#: -> respawn -> checkpoint restore -> WAL replay, per auto-healed
+#: crash).  Generous against busy CI machines; the committed value is
+#: typically well under a second.
+GATEWAY_MTTR_CEILING_S = 5.0
+
 #: (record key, policy, tenants, shards, events, releases, horizon,
 #:  quick-mode events) -- the per-policy gateway tiers.  The fifo tier is
 #: the ISSUE 8 acceptance instance: >= 100k events across >= 64 tenants
@@ -894,6 +900,48 @@ def measure_gateway(quick: bool = False) -> dict:
             "kill/restore run is not bit-identical -- refusing to record"
         )
 
+    # the self-healing story (PR 10): a seeded fault plan crashes and
+    # stalls workers mid-stream; the supervisor detects, respawns, and
+    # replays with ZERO manual restore_worker calls, and the final
+    # per-shard digests still match the batch scheduler.  A scripted
+    # crash rides along so quick mode is guaranteed at least one
+    # auto-recovery regardless of scale.
+    from .gateway import FaultPlan
+    from .gateway.supervisor import SupervisorPolicy
+
+    chaos_config = GatewayConfig.uniform(
+        16, machines=1, n_workers=4, n_shards=8, policy="fifo", seed=0
+    )
+    chaos_spec = LoadSpec(
+        n_events=1_000 if quick else 8_000, n_releases=40, max_size=5,
+        seed=3,
+    )
+    plan = FaultPlan.parse("seed=11,rate=0.002,script=0.0.crash.40")
+    sup = SupervisorPolicy(heartbeat_timeout_s=0.4, ping_interval_s=0.1)
+    with tempfile.TemporaryDirectory() as snap_dir:
+        with Gateway(
+            chaos_config, snapshot_dir=snap_dir, supervisor=sup,
+            fault_plan=plan,
+        ) as gw:
+            t0 = time.perf_counter()
+            chaos_report = run_loadgen(gw, chaos_spec)
+            chaos_wall = time.perf_counter() - t0
+            manual_restores = gw.pool.restores
+    chaos = chaos_report.chaos or {}
+    if not chaos_report.verified:
+        raise SystemExit(
+            "chaos tier: fleet != batch after injected faults -- refusing "
+            "to record"
+        )
+    if manual_restores != 0:
+        raise SystemExit(
+            "chaos tier: manual restores happened -- self-healing did not"
+        )
+    if chaos.get("auto_recoveries", 0) < 1:
+        raise SystemExit(
+            "chaos tier: the fault plan armed no recovery -- plan drifted"
+        )
+
     return {
         "bench": "gateway",
         "runs": runs,
@@ -904,6 +952,20 @@ def measure_gateway(quick: bool = False) -> dict:
             "kill_restore_verified": recovery.verified,
             "worker_restores": restores,
             "wall_time_s": round(recovery_wall, 4),
+        },
+        "chaos_verified": True,
+        "mttr_seconds": round(chaos["mttr_seconds"], 4),
+        "chaos": {
+            "plan": chaos["plan"],
+            "events": chaos_report.n_events,
+            "faults_armed": chaos["faults_armed"],
+            "auto_recoveries": chaos["auto_recoveries"],
+            "quarantines": chaos["quarantines"],
+            "parked_total": chaos["parked_total"],
+            "lost_responses": chaos["lost_responses"],
+            "wal_tears": chaos["wal_tears"],
+            "manual_restores": manual_restores,
+            "wall_time_s": round(chaos_wall, 4),
         },
         **machine_meta(),
     }
@@ -937,6 +999,23 @@ def check_gateway_ratios(
             problems.append(f"{key}: verified is not true")
     if not measured.get("recovery", {}).get("kill_restore_verified", False):
         problems.append("recovery: kill_restore_verified is not true")
+    # the self-healing gate: the committed record must have been stamped
+    # chaos-verified, the fresh measurement must reproduce it, and mean
+    # time to recovery must stay under the absolute ceiling
+    if not committed.get("chaos_verified", False):
+        problems.append(
+            f"chaos_verified: missing or false in {committed_path}"
+        )
+    if not measured.get("chaos_verified", False):
+        problems.append("chaos_verified: measured run is not true")
+    mttr = measured.get("mttr_seconds")
+    if mttr is None:
+        problems.append("mttr_seconds: missing from measured run")
+    elif mttr > GATEWAY_MTTR_CEILING_S:
+        problems.append(
+            f"mttr_seconds: measured {mttr} > ceiling "
+            f"{GATEWAY_MTTR_CEILING_S} (recovery too slow)"
+        )
     return problems
 
 

@@ -74,6 +74,46 @@ def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--heartbeat-timeout", type=float, default=None,
+        dest="heartbeat_timeout", metavar="SECONDS",
+        help="supervisor response deadline: a worker whose oldest pending "
+             "command is older than this is declared failed and respawned "
+             "(default 60)",
+    )
+    p.add_argument(
+        "--max-restarts", type=int, default=None,
+        dest="max_restarts", metavar="N",
+        help="per-worker crash budget before quarantine (default 3; the "
+             "budget refills after sustained healthy operation)",
+    )
+    p.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="deterministic fault injection: 'seed=S,rate=R[,stall=SEC,"
+             "max_incarnations=N,tear_wal_rate=F,"
+             "script=W.INC.KIND.AT_OP+...]' -- the same plan always "
+             "injects the same faults (see repro.gateway.faults)",
+    )
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> "dict":
+    """``supervisor=`` / ``fault_plan=`` Gateway kwargs from CLI flags."""
+    from .gateway import FaultPlan, SupervisorPolicy
+
+    overrides: dict = {}
+    if args.heartbeat_timeout is not None:
+        overrides["heartbeat_timeout_s"] = args.heartbeat_timeout
+        # keep idle pings comfortably inside the deadline
+        overrides["ping_interval_s"] = min(5.0, args.heartbeat_timeout / 4)
+    if args.max_restarts is not None:
+        overrides["max_restarts"] = args.max_restarts
+    return {
+        "supervisor": SupervisorPolicy(**overrides) if overrides else None,
+        "fault_plan": FaultPlan.parse(args.chaos) if args.chaos else None,
+    }
+
+
 def _policy_flag_help(intro: str) -> str:
     """Registry-derived ``--policy`` help (cannot drift from the table)."""
     from .policies import policy_names
@@ -260,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     gwp.add_argument("--stats-every", type=float, default=None,
                      dest="stats_every", metavar="SECONDS",
                      help="emit a periodic fleet stats line to stderr")
+    _add_resilience_flags(gwp)
 
     lg = sub.add_parser(
         "loadgen",
@@ -300,6 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the per-shard batch-equivalence check")
     lg.add_argument("--progress", action="store_true",
                     help="print a stats line per release group to stderr")
+    _add_resilience_flags(lg)
+    lg.add_argument("--require-recoveries", type=int, default=None,
+                    dest="require_recoveries", metavar="N",
+                    help="exit 1 unless the run auto-recovered at least N "
+                         "worker crashes (CI chaos gate)")
+    lg.add_argument("--require-quarantines", type=int, default=None,
+                    dest="require_quarantines", metavar="N",
+                    help="exit 1 unless at least N workers were quarantined "
+                         "(CI chaos gate)")
 
     bench = sub.add_parser(
         "bench",
@@ -670,7 +720,9 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         return 2
     config = _gateway_config(args)
     install_shutdown_handlers()
-    with Gateway(config, snapshot_dir=args.snapshot_dir) as gw:
+    with Gateway(
+        config, snapshot_dir=args.snapshot_dir, **_resilience_kwargs(args)
+    ) as gw:
         print(
             f"gateway {config.content_hash()}: "
             f"{gw.pool.n_live_workers} workers / "
@@ -709,11 +761,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         else None
     )
     snapshot_dir = None
-    if args.snapshot_at is not None or args.kill_at is not None:
+    if (
+        args.snapshot_at is not None
+        or args.kill_at is not None
+        or args.chaos is not None
+    ):
         import tempfile
 
+        # chaos runs get a durable WAL + checkpoint dir so recovery
+        # exercises the full restore path, not just in-memory replay
         snapshot_dir = tempfile.mkdtemp(prefix="repro-gateway-")
-    with Gateway(config, snapshot_dir=snapshot_dir) as gw:
+    with Gateway(
+        config, snapshot_dir=snapshot_dir, **_resilience_kwargs(args)
+    ) as gw:
         report = run_loadgen(
             gw,
             spec,
@@ -723,7 +783,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             progress=progress,
         )
     print(report.summary())
-    return 0 if report.verified in (True, None) else 1
+    failures = []
+    chaos = report.chaos or {}
+    if args.require_recoveries is not None:
+        got = chaos.get("auto_recoveries", 0)
+        if got < args.require_recoveries:
+            failures.append(
+                f"required >= {args.require_recoveries} auto recoveries, "
+                f"got {got}"
+            )
+    if args.require_quarantines is not None:
+        got = chaos.get("quarantines", 0)
+        if got < args.require_quarantines:
+            failures.append(
+                f"required >= {args.require_quarantines} quarantines, "
+                f"got {got}"
+            )
+    if report.verified not in (True, None):
+        failures.append("fleet != batch (digest divergence)")
+    for reason in failures:
+        print(f"loadgen gate: {reason}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -18,14 +18,22 @@ ClusterService` shards across process-per-core workers:
   WAL, checkpoint, kill/restore) and the tenant-facing :class:`Gateway`.
 * :mod:`~repro.gateway.loadgen` -- the deterministic event storm and the
   per-shard fleet == batch digest verification.
+* :mod:`~repro.gateway.supervisor` -- the per-worker liveness state
+  machine (detection, capped-backoff respawn, crash-loop quarantine).
+* :mod:`~repro.gateway.faults` -- the seeded deterministic fault plan
+  (``--chaos``) and the worker-side injector.
+* :mod:`~repro.gateway.wal` -- the append-only durable per-shard WAL
+  with fsynced checkpoint markers and torn-tail tolerance.
 """
 
 from .admission import AdmissionController, AdmissionError, TokenBucket
 from .config import GatewayConfig, TenantSpec
+from .faults import FaultInjector, FaultPlan
 from .gateway import (
     Gateway,
     GatewayError,
     ShardPool,
+    ShardUnavailable,
     WorkerDied,
     gateway_serve_loop,
 )
@@ -37,6 +45,8 @@ from .loadgen import (
     verify_against_batch,
 )
 from .routing import shard_of, stable_hash, worker_of
+from .supervisor import Supervisor, SupervisorPolicy
+from .wal import ShardWal, load_wal, wal_path
 
 __all__ = [
     "AdmissionController",
@@ -44,9 +54,12 @@ __all__ = [
     "TokenBucket",
     "GatewayConfig",
     "TenantSpec",
+    "FaultInjector",
+    "FaultPlan",
     "Gateway",
     "GatewayError",
     "ShardPool",
+    "ShardUnavailable",
     "WorkerDied",
     "gateway_serve_loop",
     "LoadReport",
@@ -57,4 +70,9 @@ __all__ = [
     "shard_of",
     "stable_hash",
     "worker_of",
+    "Supervisor",
+    "SupervisorPolicy",
+    "ShardWal",
+    "load_wal",
+    "wal_path",
 ]

@@ -30,11 +30,16 @@ from .config import GatewayConfig, TenantSpec
 __all__ = ["AdmissionError", "TokenBucket", "AdmissionController"]
 
 #: Typed error codes an admission refusal may carry.
+#: ``shard_unavailable`` is raised by the *gateway* (the tenant's shard
+#: is down or quarantined) but accounted here so per-tenant rejection
+#: counters cover every refusal path -- and, like every refusal, it
+#: never charges tokens or credits.
 ERROR_CODES = (
     "unknown_tenant",
     "bad_request",
     "rate_limited",
     "insufficient_credits",
+    "shard_unavailable",
 )
 
 
@@ -159,6 +164,25 @@ class AdmissionController:
             acct.credits -= size
         acct.accepted += 1
         acct.accepted_work += size
+
+    def refuse(self, tenant: str, code: str, message: str) -> AdmissionError:
+        """Account a gateway-side refusal (e.g. ``shard_unavailable``)
+        against the tenant without touching tokens or credits."""
+        return self.account(tenant).reject(code, message)
+
+    def refund_submit(self, tenant: str, size: int) -> None:
+        """Undo one :meth:`admit_submit` charge (the shard went
+        unavailable between the health check and the send): refusals
+        must never cost the tenant anything."""
+        acct = self.account(tenant)
+        if acct.bucket is not None:
+            acct.bucket.tokens = min(
+                acct.bucket.burst, acct.bucket.tokens + 1.0
+            )
+        if acct.credits is not None:
+            acct.credits += size
+        acct.accepted -= 1
+        acct.accepted_work -= size
 
     def add_credits(self, tenant: str, amount: float) -> "float | None":
         """Top up a tenant's work budget; returns the new balance

@@ -25,6 +25,21 @@ exact forwarded commands in their original per-shard order through the
 same deterministic ingest path.  Commands the dead worker had already
 applied after the checkpoint are *not* double-applied: the respawned
 worker starts from the checkpoint state, which predates them.
+
+Self-healing (ISSUE 10 tentpole): the pool embeds a
+:class:`~repro.gateway.supervisor.Supervisor`.  Worker failures --
+pipe errors, EOF, response deadlines, protocol desyncs -- are *detected*
+at the next I/O instead of raised at the caller; the failed worker is
+marked ``down``, its shards' mutating commands **park** (append to the
+WAL without being forwarded, acked ``{"ok": true, "parked": true}``) up
+to a bounded buffer, and :meth:`ShardPool.tick` respawns it after a
+capped-exponential backoff, replaying checkpoint + WAL so the heal is
+invisible in the digests.  Crash-looping workers are quarantined:
+submits to their shards are refused in-band with ``shard_unavailable``
+(never charged by admission) until the cooldown expires.  Explicit
+:meth:`ShardPool.kill_worker` is an *operator* action (``admin_down``):
+never auto-respawned, exactly the pre-supervisor semantics.  DESIGN.md
+§13 specifies the fault model and state machine.
 """
 
 from __future__ import annotations
@@ -40,8 +55,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ..service.snapshot import load_snapshot
 from .admission import AdmissionController, AdmissionError
 from .config import GatewayConfig
+from .faults import FaultPlan
+from .supervisor import (
+    ADMIN_DOWN,
+    DOWN,
+    QUARANTINED,
+    UP,
+    ShardUnavailable,
+    Supervisor,
+    SupervisorPolicy,
+)
+from .wal import ShardWal, load_wal, wal_path
 from .worker import shard_snapshot_path
 
 __all__ = [
@@ -49,6 +76,7 @@ __all__ = [
     "ShardPool",
     "GatewayError",
     "WorkerDied",
+    "ShardUnavailable",
     "gateway_serve_loop",
 ]
 
@@ -100,6 +128,7 @@ class _WorkerHandle:
         env: "dict[str, str]",
     ) -> None:
         self.worker_id = worker_id
+        self.on_settle: "Callable[[], None] | None" = None
         # -c instead of -m: the latter warns when repro.gateway is already
         # imported as a package before runpy executes the submodule
         self.proc = subprocess.Popen(
@@ -210,11 +239,19 @@ class _WorkerHandle:
             )
         if p.callback is not None:
             p.callback(resp)
+        if self.on_settle is not None:
+            self.on_settle()
         return resp
 
     def settle_available(self) -> int:
         """Opportunistically consume already-arrived responses."""
         n = 0
+        if self.pending:
+            # the tx buffer may still hold the very commands we are
+            # waiting on (pipelining batches writes): a worker can only
+            # answer what it has received, so an unflushed buffer would
+            # otherwise read as a stalled worker
+            self.flush()
         while self.pending and (self._rx_lines or self._peek_readable()):
             if self.settle_one(timeout=0) is None:
                 break
@@ -276,6 +313,8 @@ class ShardPool:
         *,
         snapshot_dir: "str | Path | None" = None,
         max_inflight: int = 64,
+        supervisor: "SupervisorPolicy | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -293,6 +332,23 @@ class ShardPool:
         self.lost_responses = 0
         self.restores = 0
         self._next_id = 0
+        # -- self-healing state (ISSUE 10) ------------------------------
+        self.supervisor = Supervisor(supervisor)
+        self.fault_plan = fault_plan
+        #: Virtual gateway clock, fed by Gateway.advance/drain; the
+        #: deterministic leg of the supervisor's backoff deadlines.
+        self.vclock = 0
+        self.parked: "dict[int, int]" = {}  # shard -> parked submits
+        self.parked_total = 0
+        self.lost_inflight: "dict[int, list[dict]]" = {}
+        self.checkpoint_meta: "dict[int, dict]" = {}
+        self.dwal: "dict[int, ShardWal]" = {}
+        self.faults_armed = 0
+        self.wal_tears = 0
+        self.wal_torn_repairs = 0
+        self.pings_sent = 0
+        self._degraded = False
+        self._tick_at = 0.0
 
     # -- spawn -----------------------------------------------------------
     @staticmethod
@@ -307,8 +363,18 @@ class ShardPool:
         )
         return env
 
-    def _manifest(self, worker: int, restore: "dict[str, str]") -> dict:
+    def _manifest(
+        self,
+        worker: int,
+        restore: "dict[str, str]",
+        incarnation: int = 0,
+    ) -> dict:
         cfg = self.config
+        fault = None
+        if self.fault_plan is not None:
+            fault = self.fault_plan.manifest_entry(worker, incarnation)
+            if fault is not None:
+                self.faults_armed += 1
         return {
             "worker": worker,
             "shards": {
@@ -326,15 +392,89 @@ class ShardPool:
                 None if self.snapshot_dir is None else str(self.snapshot_dir)
             ),
             "linger_ms": cfg.batch_linger_ms,
+            "fault": fault,
         }
 
+    def _spawn(self, worker: int, incarnation: int) -> None:
+        """(Re)create one worker process, restoring checkpointed shards."""
+        restore = {}
+        if self.snapshot_dir is not None:
+            for s in self.config.worker_shards(worker):
+                if s in self.checkpointed:
+                    path = shard_snapshot_path(self.snapshot_dir, s)
+                    if path.exists():
+                        restore[str(s)] = str(path)
+        handle = _WorkerHandle(
+            worker,
+            self._manifest(worker, restore, incarnation),
+            self._worker_env(),
+        )
+        handle.on_settle = lambda w=worker: self.supervisor.on_settled(w)
+        self.workers[worker] = handle
+
     def start(self) -> "ShardPool":
-        env = self._worker_env()
+        if self.snapshot_dir is not None:
+            for s in self.config.shard_ids():
+                # a fresh fleet starts a fresh durable history (resume
+                # goes through resume_from_disk instead)
+                self.dwal[s] = ShardWal.create(
+                    self.snapshot_dir, s, truncate=True
+                )
         for w in range(self.config.n_workers):
             if not self.config.worker_shards(w):
                 continue  # fewer populated shards than workers
-            self.workers[w] = _WorkerHandle(w, self._manifest(w, {}), env)
+            self.supervisor.register(w)
+            self._spawn(w, 0)
         return self
+
+    def resume_from_disk(self) -> "dict[int, int]":
+        """Rebuild the whole fleet from durable state (checkpoints plus
+        WAL replay) after the *gateway process itself* died.
+
+        Per shard: decode the durable WAL (torn tails tolerated), trust
+        the on-disk checkpoint only when a fsynced WAL marker matches its
+        content hash (otherwise replay in full from genesis), and replay
+        the suffix through the normal spawn path.  Returns
+        ``shard -> replayed command count``.
+        """
+        if self.snapshot_dir is None:
+            raise GatewayError("resume_from_disk needs a snapshot_dir")
+        if self.workers:
+            raise GatewayError("resume_from_disk replaces start()")
+        replayed = {}
+        for s in self.config.shard_ids():
+            image = load_wal(wal_path(self.snapshot_dir, s))
+            ckpt_hash = None
+            path = shard_snapshot_path(self.snapshot_dir, s)
+            if path.exists():
+                try:
+                    ckpt_hash = load_snapshot(path).get("content_hash")
+                except (ValueError, OSError):
+                    ckpt_hash = None  # unreadable: fall back to genesis
+            matched = ckpt_hash is not None and any(
+                h == ckpt_hash for h, _ in image.markers
+            )
+            floor = image.replay_floor(ckpt_hash) if matched else 0
+            if matched:
+                self.checkpointed.add(s)
+                self.checkpoint_meta[s] = {
+                    "path": str(path),
+                    "content_hash": ckpt_hash,
+                }
+            self.wal[s] = [dict(c) for c in image.commands[floor:]]
+            replayed[s] = len(self.wal[s])
+            if image.torn:
+                self.wal_torn_repairs += 1
+            self.dwal[s] = ShardWal.attach(
+                self.snapshot_dir, s, next_seq=len(image.commands)
+            )
+        for w in range(self.config.n_workers):
+            if not self.config.worker_shards(w):
+                continue
+            self.supervisor.register(w)
+            self._spawn(w, 0)
+            self._replay(w)
+        return replayed
 
     @property
     def n_live_workers(self) -> int:
@@ -355,6 +495,306 @@ class ShardPool:
             )
         return handle
 
+    # -- failure detection / healing (the woven-in supervisor loop) ------
+    def _capture_lost(self, worker: int, handle: _WorkerHandle) -> None:
+        """Record in-flight requests about to be lost (status surfacing)."""
+        if handle.pending:
+            self.lost_inflight.setdefault(worker, []).extend(
+                {"shard": p.shard, "op": p.op, "id": p.req_id}
+                for p in handle.pending
+            )
+
+    def _maybe_tear_wal(self, worker: int, incarnation: int) -> None:
+        """Pool-side companion fault: leave a torn tail on the first
+        owned shard's durable WAL, as a crash mid-append would."""
+        if self.fault_plan is None or not self.fault_plan.tears_wal(
+            worker, incarnation
+        ):
+            return
+        for s in self.config.worker_shards(worker):
+            dw = self.dwal.get(s)
+            if dw is not None:
+                dw.tear_tail()
+                self.wal_tears += 1
+            break
+
+    def _worker_failed(self, worker: int, reason: str) -> str:
+        """Detection sink: kill the handle, account lost in-flight, hand
+        the failure to the supervisor.  Returns the new state."""
+        if self.supervisor.state(worker) != UP:
+            return self.supervisor.state(worker)  # already being handled
+        incarnation = self.supervisor.meta[worker].incarnation
+        handle = self.workers.get(worker)
+        if handle is not None:
+            self._capture_lost(worker, handle)
+            self.lost_responses += handle.kill()
+        state = self.supervisor.on_failure(worker, reason, self.vclock)
+        self._maybe_tear_wal(worker, incarnation)
+        self._degraded = True
+        return state
+
+    def _replay(self, worker: int) -> "dict[int, int]":
+        """Replay the per-shard WAL into a freshly spawned worker, raw
+        (bypasses park checks -- the worker is mid-heal).  Raises
+        :class:`WorkerDied` if it dies or stalls during replay."""
+        handle = self.workers[worker]
+        hb = self.supervisor.policy.heartbeat_timeout_s
+        replayed = {}
+        for s in self.config.worker_shards(worker):
+            for cmd in self.wal[s]:
+                self._next_id += 1
+                handle.pending.append(
+                    _Pending(
+                        req_id=self._next_id,
+                        shard=s,
+                        op=cmd.get("op", "?"),
+                        sent_at=time.perf_counter(),
+                    )
+                )
+                handle.write_line({"id": self._next_id, "shard": s, **cmd})
+                if len(handle.pending) >= self.max_inflight:
+                    if handle.settle_one(timeout=hb) is None:
+                        raise WorkerDied(
+                            f"worker {worker} unresponsive during WAL replay"
+                        )
+            replayed[s] = len(self.wal[s])
+        while handle.pending:
+            if handle.settle_one(timeout=hb) is None:
+                raise WorkerDied(
+                    f"worker {worker} unresponsive during WAL replay"
+                )
+        return replayed
+
+    def _respawn(self, worker: int) -> bool:
+        """One automatic recovery attempt: spawn a new incarnation from
+        the last checkpoint and replay the WAL.  On failure (including a
+        fault injected into the replay itself) the supervisor schedules
+        the next attempt; True only when the worker healed."""
+        incarnation = self.supervisor.on_respawn_attempt(worker)
+        try:
+            self._spawn(worker, incarnation)
+            self._replay(worker)
+        except (GatewayError, OSError) as exc:
+            handle = self.workers.get(worker)
+            if handle is not None:
+                self._capture_lost(worker, handle)
+                self.lost_responses += handle.kill()
+            self.supervisor.on_failure(
+                worker, f"recovery attempt failed: {exc}", self.vclock
+            )
+            self._maybe_tear_wal(worker, incarnation)
+            return False
+        self.supervisor.on_healed(worker)
+        for s in self.config.worker_shards(worker):
+            self.parked[s] = 0
+        return True
+
+    def tick(self) -> None:
+        """One supervisor pass: deadline checks, idle pings, due respawns.
+
+        Called from every command path (and the serve loop's idle path);
+        throttled to a few-ms cadence when the fleet is healthy so the
+        hot ingest path pays ~nothing.
+        """
+        now = time.monotonic()
+        if not self._degraded and now < self._tick_at:
+            return
+        self._tick_at = now + 0.005
+        degraded = False
+        for w in list(self.workers):
+            meta = self.supervisor.meta.get(w)
+            if meta is None:
+                continue
+            if meta.state == UP:
+                handle = self.workers[w]
+                if handle.pending:
+                    # settle everything already readable BEFORE judging
+                    # the deadline: while the gateway was busy elsewhere
+                    # (e.g. replaying another worker's WAL) this worker
+                    # may have answered long ago -- aging unread
+                    # responses must not read as a stall
+                    try:
+                        handle.settle_available()
+                    except (WorkerDied, GatewayError) as exc:
+                        self._worker_failed(w, str(exc))
+                        degraded = True
+                        continue
+                if handle.pending:
+                    age = time.perf_counter() - handle.pending[0].sent_at
+                    hb = self.supervisor.policy.heartbeat_timeout_s
+                    if age >= hb:
+                        self._worker_failed(
+                            w,
+                            f"response deadline exceeded ({age:.2f}s > "
+                            f"heartbeat {hb:g}s)",
+                        )
+                        degraded = True
+                elif self.supervisor.needs_ping(w):
+                    self._enqueue_ping(w)
+            elif meta.state == ADMIN_DOWN:
+                continue  # operator kill: manual restore only
+            elif self.supervisor.due_for_respawn(w, self.vclock):
+                if not self._respawn(w):
+                    degraded = True
+            else:
+                degraded = True
+        self._degraded = degraded
+
+    def _enqueue_ping(self, worker: int) -> None:
+        """Probe an idle worker so silent death is noticed without
+        traffic; the pong settles with normal positional matching."""
+        handle = self.workers[worker]
+        self._next_id += 1
+        handle.pending.append(
+            _Pending(
+                req_id=self._next_id,
+                shard=None,
+                op="ping",
+                sent_at=time.perf_counter(),
+            )
+        )
+        handle.write_line({"id": self._next_id, "op": "ping"})
+        try:
+            handle.flush()
+        except WorkerDied as exc:
+            self._worker_failed(worker, str(exc))
+            return
+        self.pings_sent += 1
+        # don't re-ping while this probe is outstanding
+        self.supervisor.meta[worker].last_activity = time.monotonic()
+
+    def _drain_handle(self, worker: int) -> bool:
+        """Settle everything pending on one worker under the heartbeat
+        deadline; False (never an exception) when the worker failed."""
+        handle = self.workers[worker]
+        hb = self.supervisor.policy.heartbeat_timeout_s
+        try:
+            while handle.pending:
+                if handle.settle_one(timeout=hb) is None:
+                    self._worker_failed(
+                        worker,
+                        f"heartbeat timeout ({hb:g}s) with "
+                        f"{len(handle.pending)} pending",
+                    )
+                    return False
+        except (WorkerDied, GatewayError) as exc:
+            self._worker_failed(worker, str(exc))
+            return False
+        return True
+
+    def heal_shard(self, shard: int, timeout_s: float = 30.0) -> None:
+        """Block (bounded) until the worker owning ``shard`` is up,
+        driving due respawns; used by drain-style barriers that must not
+        proceed over a hole in the fleet."""
+        from .routing import worker_of
+
+        w = worker_of(shard, self.config.n_workers)
+        deadline = time.monotonic() + timeout_s
+        while True:
+            state = self.supervisor.state(w)
+            if state == UP:
+                return
+            if state == ADMIN_DOWN:
+                raise WorkerDied(
+                    f"worker {w} (shard {shard}) was killed by the "
+                    f"operator; restore_worker({w}) first"
+                )
+            self.tick()
+            if self.supervisor.state(w) == UP:
+                return
+            if time.monotonic() >= deadline:
+                raise GatewayError(
+                    f"shard {shard} (worker {w}) failed to heal within "
+                    f"{timeout_s:g}s (state {self.supervisor.state(w)})"
+                )
+            time.sleep(0.005)
+
+    def ensure_all_up(self, timeout_s: float = 60.0) -> None:
+        """Heal every auto-downed worker (bounded wait); admin-downed
+        workers are the operator's business and are left alone."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            self.tick()
+            bad = [
+                w
+                for w, m in self.supervisor.meta.items()
+                if m.state in (DOWN, QUARANTINED)
+            ]
+            if not bad:
+                return
+            if time.monotonic() >= deadline:
+                raise GatewayError(
+                    f"workers {bad} failed to heal within {timeout_s:g}s"
+                )
+            time.sleep(0.005)
+
+    def shard_state(self, shard: int) -> str:
+        from .routing import worker_of
+
+        return self.supervisor.state(
+            worker_of(shard, self.config.n_workers)
+        )
+
+    def submit_refusal(self, shard: int) -> "str | None":
+        """Why a submit to ``shard`` would be refused right now (None
+        when it would be forwarded or parked).  Ticks first, so the
+        answer reflects any respawn that just became due -- and so the
+        gateway can check health *before* charging admission."""
+        self.tick()
+        state = self.shard_state(shard)
+        if state == QUARANTINED:
+            return (
+                f"shard {shard} unavailable: its worker crash-looped and "
+                f"is quarantined"
+            )
+        limit = self.supervisor.policy.park_limit
+        if state == DOWN and self.parked.get(shard, 0) >= limit:
+            return (
+                f"shard {shard} unavailable: park buffer full "
+                f"({limit} submits) while its worker is down"
+            )
+        return None
+
+    def _log_cmd(self, shard: int, cmd: dict) -> None:
+        """Write-ahead: in-memory WAL always, durable WAL when enabled --
+        both *before* the command is forwarded (or parked)."""
+        self.wal[shard].append(dict(cmd))
+        dw = self.dwal.get(shard)
+        if dw is not None:
+            dw.append(cmd)
+
+    def _park(
+        self,
+        shard: int,
+        worker: int,
+        cmd: dict,
+        state: str,
+        callback: "Callable[[dict], None] | None",
+        log: bool,
+    ) -> dict:
+        """Graceful degradation for a down shard: mutating commands park
+        (WAL-only; replayed in order on heal), observations and
+        over-budget submits are refused with a typed error."""
+        op = cmd.get("op", "?")
+        if op not in MUTATING_OPS:
+            raise ShardUnavailable(
+                shard,
+                state,
+                f"shard {shard} (worker {worker}) is {state}",
+            )
+        if op == "submit":
+            refusal = self.submit_refusal(shard)
+            if refusal is not None:
+                raise ShardUnavailable(shard, state, refusal)
+            self.parked[shard] = self.parked.get(shard, 0) + 1
+            self.parked_total += 1
+        if log:
+            self._log_cmd(shard, cmd)
+        resp = {"ok": True, "shard": shard, "op": op, "parked": True}
+        if callback is not None:
+            callback(resp)
+        return resp
+
     # -- command dispatch ------------------------------------------------
     def shard_cmd(
         self,
@@ -366,12 +806,29 @@ class ShardPool:
         callback: "Callable[[dict], None] | None" = None,
         log: bool = True,
     ) -> "dict | None":
-        """Send one shard-tagged command; pipeline unless ``wait``."""
-        handle = self._handle_for_shard(shard)
+        """Send one shard-tagged command; pipeline unless ``wait``.
+
+        A command to a shard whose worker is auto-down parks or is
+        refused (:meth:`_park`); a worker failure detected mid-send
+        parks the command too (it is already in the WAL) instead of
+        surfacing a transport error to the tenant.
+        """
+        from .routing import worker_of
+
+        self.tick()
+        w = worker_of(shard, self.config.n_workers)
+        op = cmd.get("op", "?")
+        mutating = op in MUTATING_OPS
+        state = self.supervisor.state(w)
+        if state in (DOWN, QUARANTINED):
+            # returned for non-wait callers too: a parked ack is useful
+            # ("parked": true) where the normal pipeline path has nothing
+            return self._park(shard, w, cmd, state, callback, log)
+        handle = self._handle_for_shard(shard)  # admin_down raises here
         self._next_id += 1
         payload = {"id": self._next_id, "shard": shard, **cmd}
-        if log and cmd.get("op") in MUTATING_OPS:
-            self.wal[shard].append(dict(cmd))
+        if log and mutating:
+            self._log_cmd(shard, cmd)
         cb = self._wrap_latency(callback) if track_latency else callback
         captured: "list[dict]" = []
         if wait:
@@ -386,7 +843,7 @@ class ShardPool:
             _Pending(
                 req_id=self._next_id,
                 shard=shard,
-                op=cmd.get("op", "?"),
+                op=op,
                 sent_at=time.perf_counter(),
                 track_latency=track_latency,
                 callback=cb,
@@ -394,14 +851,35 @@ class ShardPool:
         )
         handle.write_line(payload)
         if wait:
-            handle.drain()
-            if not captured:
+            drained = self._drain_handle(w)
+            if captured:
+                return captured[0]
+            if drained:
                 raise GatewayError("response stream ended unexpectedly")
-            return captured[0]
-        if len(handle.pending) >= self.max_inflight:
-            handle.settle_one(timeout=None)
-        else:
-            handle.settle_available()
+            # the worker failed before our response arrived
+            if mutating and log:
+                return {"ok": True, "shard": shard, "op": op, "parked": True}
+            raise ShardUnavailable(
+                shard,
+                self.supervisor.state(w),
+                f"worker {w} failed mid-command ({op})",
+            )
+        hb = self.supervisor.policy.heartbeat_timeout_s
+        try:
+            if len(handle.pending) >= self.max_inflight:
+                if handle.settle_one(timeout=hb) is None:
+                    raise WorkerDied(
+                        f"worker {w} heartbeat timeout ({hb:g}s) under "
+                        f"backpressure"
+                    )
+            else:
+                handle.settle_available()
+        except (WorkerDied, GatewayError) as exc:
+            self._worker_failed(w, str(exc))
+            if not (mutating and log):
+                raise ShardUnavailable(
+                    shard, self.supervisor.state(w), str(exc)
+                ) from exc
         return None
 
     def _wrap_latency(
@@ -417,11 +895,21 @@ class ShardPool:
         return cb
 
     def worker_cmd(self, worker: int, cmd: dict) -> dict:
-        """A synchronous worker-level op (status / snapshot / shutdown)."""
+        """A synchronous worker-level op (status / snapshot / shutdown).
+
+        Bounded by the heartbeat deadline; raises :class:`WorkerDied` on
+        death or stall (callers on the supervised path catch and report
+        through :meth:`_worker_failed`).
+        """
         handle = self.workers[worker]
         if handle.dead:
             raise WorkerDied(f"worker {worker} is dead")
-        handle.drain()  # worker-level ops are barriers on that worker
+        hb = self.supervisor.policy.heartbeat_timeout_s
+        while handle.pending:  # worker-level ops are barriers on that worker
+            if handle.settle_one(timeout=hb) is None:
+                raise WorkerDied(
+                    f"worker {worker} unresponsive (heartbeat {hb:g}s)"
+                )
         self._next_id += 1
         payload = {"id": self._next_id, **cmd}
         handle.write_line(payload)
@@ -433,9 +921,11 @@ class ShardPool:
                 sent_at=time.perf_counter(),
             )
         )
-        resp = handle.settle_one(timeout=None)
+        resp = handle.settle_one(timeout=hb)
         if resp is None:
-            raise WorkerDied(f"worker {worker} gave no response")
+            raise WorkerDied(
+                f"worker {worker} gave no response (heartbeat {hb:g}s)"
+            )
         return resp
 
     def call(self, shard: int, cmd: dict, **kwargs) -> dict:
@@ -444,26 +934,44 @@ class ShardPool:
         return resp
 
     def barrier(self) -> None:
-        """Flush and settle every in-flight request on every live worker."""
-        for handle in self.workers.values():
-            if not handle.dead:
-                handle.drain()
+        """Flush and settle every in-flight request on every up worker.
+
+        A worker that fails during the barrier is marked down (its
+        commands are in the WAL) instead of failing the fleet.
+        """
+        self.tick()
+        for w, handle in self.workers.items():
+            if not handle.dead and self.supervisor.state(w) == UP:
+                self._drain_handle(w)
 
     # -- observation -----------------------------------------------------
     def statuses(self) -> "dict[int, dict]":
-        """Shard id -> ``ClusterService.status()`` dict, fleet-wide."""
+        """Shard id -> ``ClusterService.status()`` dict, fleet-wide.
+
+        Shards whose worker is down are simply absent -- status is an
+        observation and must not block on a heal.
+        """
         self.barrier()
         out: "dict[int, dict]" = {}
         for w, handle in sorted(self.workers.items()):
-            if handle.dead:
+            if handle.dead or self.supervisor.state(w) != UP:
                 continue
-            resp = self.worker_cmd(w, {"op": "worker_status"})
+            try:
+                resp = self.worker_cmd(w, {"op": "worker_status"})
+            except (WorkerDied, GatewayError) as exc:
+                self._worker_failed(w, str(exc))
+                continue
             for sid, status in resp["shards"].items():
                 out[int(sid)] = status
         return out
 
     def shard_digests(self) -> "dict[int, str]":
-        """Schedule digest per shard (inline snapshot; not a checkpoint)."""
+        """Schedule digest per shard (inline snapshot; not a checkpoint).
+
+        Heals any auto-downed worker first: a digest over a hole in the
+        fleet would silently exclude that shard's schedule.
+        """
+        self.ensure_all_up()
         self.barrier()
         out = {}
         for s in self.config.shard_ids():
@@ -476,64 +984,108 @@ class ShardPool:
     # -- checkpoint / crash / restore ------------------------------------
     def snapshot_all(self) -> "dict[int, dict]":
         """Checkpoint every shard to ``snapshot_dir`` (snapshot-under-load:
-        callable at any point of the stream); acknowledges the WAL."""
+        callable at any point of the stream); acknowledges the WAL.
+
+        Degradation-aware: auto-downed workers are skipped (their shards
+        keep their WAL and checkpoint on heal), and a shard whose
+        checkpoint write failed (e.g. an injected torn write) keeps its
+        previous checkpoint and full WAL -- the entry comes back with an
+        ``"error"`` key instead of checkpoint metadata.  An explicitly
+        killed (admin-down) worker is still a hard error.
+        """
         if self.snapshot_dir is None:
             raise GatewayError("snapshot_all needs a snapshot_dir")
         self.barrier()
         out: "dict[int, dict]" = {}
+        acked: "list[int]" = []
         for w, handle in sorted(self.workers.items()):
-            if handle.dead:
+            state = self.supervisor.state(w)
+            if state == ADMIN_DOWN or (handle.dead and state == UP):
                 raise WorkerDied(
                     f"worker {w} is dead; restore it before checkpointing"
                 )
-            resp = self.worker_cmd(
-                w, {"op": "snapshot_shards", "dir": str(self.snapshot_dir)}
-            )
+            if state != UP:
+                continue  # parked shards checkpoint after they heal
+            try:
+                resp = self.worker_cmd(
+                    w,
+                    {"op": "snapshot_shards", "dir": str(self.snapshot_dir)},
+                )
+            except (WorkerDied, GatewayError) as exc:
+                self._worker_failed(w, str(exc))
+                continue
             if not resp.get("ok"):
                 raise GatewayError(f"worker {w} snapshot failed: {resp}")
             for sid, info in resp["snapshots"].items():
                 out[int(sid)] = info
-        # every command up to the barrier is inside the checkpoints; the
-        # WAL restarts empty from here
-        for s in out:
+                if "error" not in info:
+                    acked.append(int(sid))
+        # every command up to the barrier is inside the acked
+        # checkpoints; those shards' WALs restart empty from here --
+        # failed/skipped shards keep checkpoint and WAL unchanged
+        for s in acked:
             self.wal[s] = []
             self.checkpointed.add(s)
+            self.checkpoint_meta[s] = out[s]
+            dw = self.dwal.get(s)
+            if dw is not None:
+                dw.mark_checkpoint(out[s]["content_hash"])
         return out
 
     def kill_worker(self, worker: int) -> int:
-        """SIGKILL a worker mid-stream; returns lost in-flight responses."""
+        """SIGKILL a worker mid-stream (an *operator* action: the
+        supervisor marks it ``admin_down`` and will not auto-respawn it);
+        returns lost in-flight responses."""
         handle = self.workers[worker]
+        self._capture_lost(worker, handle)
         lost = handle.kill()
         self.lost_responses += lost
+        if worker in self.supervisor.meta:
+            self.supervisor.on_failure(
+                worker,
+                "killed by operator (kill_worker)",
+                self.vclock,
+                admin=True,
+            )
         return lost
 
     def restore_worker(self, worker: int) -> "dict[int, int]":
-        """Respawn a dead worker and rebuild its shards bit-identically:
-        restore each from its last checkpoint (genesis when none exists),
-        then replay the per-shard WAL in original order.  Returns
-        ``shard -> replayed command count``."""
+        """Manually respawn a dead worker and rebuild its shards
+        bit-identically: restore each from its last checkpoint (genesis
+        when none exists), then replay the per-shard WAL in original
+        order.  Returns ``shard -> replayed command count``."""
         old = self.workers.get(worker)
         if old is not None and not old.dead:
             raise GatewayError(f"worker {worker} is still alive")
-        restore = {}
-        if self.snapshot_dir is not None:
-            for s in self.config.worker_shards(worker):
-                if s in self.checkpointed:
-                    path = shard_snapshot_path(self.snapshot_dir, s)
-                    if path.exists():
-                        restore[str(s)] = str(path)
-        self.workers[worker] = _WorkerHandle(
-            worker, self._manifest(worker, restore), self._worker_env()
+        incarnation = (
+            self.supervisor.on_respawn_attempt(worker)
+            if worker in self.supervisor.meta
+            else 0
         )
-        replayed = {}
+        self._spawn(worker, incarnation)
+        replayed = self._replay(worker)
+        if worker in self.supervisor.meta:
+            self.supervisor.on_healed(worker, manual=True)
         for s in self.config.worker_shards(worker):
-            for cmd in self.wal[s]:
-                # log=False: the WAL already holds these commands
-                self.shard_cmd(s, cmd, log=False)
-            replayed[s] = len(self.wal[s])
-        self.workers[worker].drain()
+            self.parked[s] = 0
         self.restores += 1
         return replayed
+
+    def supervision_status(self) -> dict:
+        """The self-healing block of the aggregate status op."""
+        st = self.supervisor.status()
+        st["parked"] = {
+            str(s): n for s, n in sorted(self.parked.items()) if n
+        }
+        st["parked_total"] = self.parked_total
+        st["lost_inflight"] = {
+            str(w): {"count": len(rows), "recent": rows[-3:]}
+            for w, rows in sorted(self.lost_inflight.items())
+        }
+        st["faults_armed"] = self.faults_armed
+        st["wal_tears"] = self.wal_tears
+        st["pings_sent"] = self.pings_sent
+        return st
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
@@ -541,7 +1093,6 @@ class ShardPool:
             if handle.dead:
                 continue
             try:
-                handle.drain()
                 self.worker_cmd(w, {"op": "shutdown"})
             except (GatewayError, OSError):
                 pass
@@ -570,10 +1121,16 @@ class Gateway:
         *,
         snapshot_dir: "str | Path | None" = None,
         max_inflight: int = 64,
+        supervisor: "SupervisorPolicy | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.config = config
         self.pool = ShardPool(
-            config, snapshot_dir=snapshot_dir, max_inflight=max_inflight
+            config,
+            snapshot_dir=snapshot_dir,
+            max_inflight=max_inflight,
+            supervisor=supervisor,
+            fault_plan=fault_plan,
         )
         self.admission = AdmissionController(config)
         self.clock = 0
@@ -610,10 +1167,40 @@ class Gateway:
         forwarding; shard-side errors surface in :attr:`forward_errors`
         and the next barrier).  ``wait=True`` returns the shard's full
         response.
+
+        Degradation contract: shard health is checked **before**
+        admission charges, so a ``shard_unavailable`` refusal (worker
+        quarantined, or down with a full park buffer) never costs the
+        tenant tokens or credits, exactly like ``rate_limited``.  A
+        submit to a down-but-parkable shard is charged (it *will* apply
+        on heal) and acknowledged with ``"parked": true``.
         """
         now = self.clock if release is None else max(release, self.clock)
+        if tenant not in self.config.routes:
+            try:
+                # routes admission's unknown_tenant accounting + error
+                self.admission.admit_submit(tenant, size, now)
+            except AdmissionError as exc:
+                self.n_rejected += 1
+                return {
+                    "ok": False,
+                    "tenant": tenant,
+                    "error": str(exc),
+                    "code": exc.code,
+                }
+        shard, org = self.config.routes[tenant]
+        refusal = self.pool.submit_refusal(shard)
+        if refusal is not None:
+            self.n_rejected += 1
+            self.admission.refuse(tenant, "shard_unavailable", refusal)
+            return {
+                "ok": False,
+                "tenant": tenant,
+                "shard": shard,
+                "error": refusal,
+                "code": "shard_unavailable",
+            }
         try:
-            # raises unknown_tenant before the route lookup can fail
             self.admission.admit_submit(tenant, size, now)
         except AdmissionError as exc:
             self.n_rejected += 1
@@ -623,7 +1210,6 @@ class Gateway:
                 "error": str(exc),
                 "code": exc.code,
             }
-        shard, org = self.config.routes[tenant]
         cmd: dict = {"op": "submit", "org": org, "size": int(size)}
         if release is not None:
             cmd["release"] = int(release)
@@ -635,11 +1221,34 @@ class Gateway:
                     {"tenant": tenant, "shard": shard, **resp}
                 )
 
-        resp = self.pool.shard_cmd(
-            shard, cmd, wait=wait, track_latency=True, callback=check
-        )
+        try:
+            resp = self.pool.shard_cmd(
+                shard, cmd, wait=wait, track_latency=True, callback=check
+            )
+        except ShardUnavailable as exc:
+            # raced: the shard went unavailable between the health check
+            # and the send, and parking wasn't possible -- undo the
+            # charge so the refusal stays free, like every other refusal
+            self.admission.refund_submit(tenant, size)
+            self.n_submitted -= 1
+            self.n_rejected += 1
+            self.admission.refuse(tenant, "shard_unavailable", str(exc))
+            return {
+                "ok": False,
+                "tenant": tenant,
+                "shard": shard,
+                "error": str(exc),
+                "code": "shard_unavailable",
+            }
         if wait:
             return {"tenant": tenant, **resp}
+        if resp is not None and resp.get("parked"):
+            return {
+                "ok": True,
+                "tenant": tenant,
+                "shard": shard,
+                "parked": True,
+            }
         return {"ok": True, "tenant": tenant, "shard": shard, "queued": True}
 
     def add_credits(self, tenant: str, amount: float) -> dict:
@@ -656,9 +1265,14 @@ class Gateway:
 
     # -- time ------------------------------------------------------------
     def advance(self, t: int, *, wait: bool = False) -> dict:
-        """Advance every shard's clock to ``t`` (broadcast, pipelined)."""
+        """Advance every shard's clock to ``t`` (broadcast, pipelined).
+
+        Down shards park the advance (replayed in order on heal); the
+        broadcast never stalls on a hole in the fleet.
+        """
         t = int(t)
         self.clock = max(self.clock, t)
+        self.pool.vclock = self.clock
         self.admission.observe_clock(self.clock)
         for s in self.config.shard_ids():
             self.pool.shard_cmd(s, {"op": "advance", "t": t})
@@ -667,14 +1281,36 @@ class Gateway:
         return {"ok": True, "clock": self.clock}
 
     def drain(self) -> dict:
-        """Process every remaining decision event on every shard."""
+        """Process every remaining decision event on every shard.
+
+        Self-healing barrier: a shard whose worker is down (or fails
+        mid-drain) is healed -- respawn, checkpoint restore, WAL replay
+        -- and the drain retried; ``drain`` is idempotent on a drained
+        shard, so the bounded retry loop is safe.
+        """
+        self.pool.vclock = self.clock
         clocks = []
         for s in self.config.shard_ids():
-            resp = self.pool.call(s, {"op": "drain"})
+            resp: "dict | None" = None
+            for _ in range(10):
+                try:
+                    resp = self.pool.call(s, {"op": "drain"})
+                except ShardUnavailable:
+                    self.pool.heal_shard(s)
+                    continue
+                if resp.get("parked"):
+                    # parked: the WAL holds the drain; heal applies it,
+                    # then one more (idempotent) drain reads the clock
+                    self.pool.heal_shard(s)
+                    continue
+                break
+            else:
+                raise GatewayError(f"shard {s} would not drain (gave up)")
             if not resp.get("ok"):
                 return resp
             clocks.append(resp["clock"])
         self.clock = max([self.clock, *clocks])
+        self.pool.vclock = self.clock
         self.admission.observe_clock(self.clock)
         return {"ok": True, "clock": self.clock}
 
@@ -721,6 +1357,11 @@ class Gateway:
             "lost_responses": self.pool.lost_responses,
             "worker_restores": self.pool.restores,
         }
+        supervision = self.pool.supervision_status()
+        degraded = any(
+            row["state"] != "up"
+            for row in supervision["workers"].values()
+        )
         return {
             "ok": True,
             "config_hash": self.config.content_hash(),
@@ -730,6 +1371,8 @@ class Gateway:
             "shards": len(self.config.shard_ids()),
             "tenants": len(self.config.tenants),
             **totals,
+            "degraded": degraded,
+            "supervisor": supervision,
             "per_shard": {str(s): v for s, v in shard_statuses.items()},
             "per_tenant": tenants,
         }
@@ -796,11 +1439,16 @@ def gateway_serve_loop(
     Every error -- admission refusal, unknown tenant, malformed JSON --
     is an in-band ``{"ok": false, ...}`` response.  ``stats_every_s``
     emits a periodic one-line fleet heartbeat to ``stats_out``
-    (observability satellite).  On :class:`~repro.service.daemon.
-    ShutdownRequested` (SIGTERM/SIGINT) the fleet is checkpointed to the
-    pool's ``snapshot_dir`` before the loop returns, so a supervisor
-    kill of the *gateway* is as recoverable as a worker crash.
+    (observability satellite).  The loop ticks the pool's supervisor
+    while idle (bounded waits on real streams), so a crashed worker is
+    detected and respawned even with no tenant traffic.  On
+    :class:`~repro.service.daemon.ShutdownRequested` (SIGTERM/SIGINT)
+    the fleet is checkpointed to the pool's ``snapshot_dir`` before the
+    loop returns, so a supervisor kill of the *gateway* is as
+    recoverable as a worker crash.
     """
+    from ..service.daemon import timed_lines
+
     last_stats = time.monotonic()
 
     def maybe_stats() -> None:
@@ -814,7 +1462,13 @@ def gateway_serve_loop(
             last_stats = now
 
     try:
-        for line in lines:
+        for line in timed_lines(lines, lambda: 0.25):
+            if line is None:
+                # idle: run the supervisor pass (deadline checks, pings,
+                # due respawns) so healing doesn't wait for traffic
+                gateway.pool.tick()
+                maybe_stats()
+                continue
             line = line.strip()
             if not line:
                 continue

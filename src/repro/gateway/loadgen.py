@@ -76,6 +76,9 @@ class LoadReport:
     snapshot_under_load_s: "float | None" = None
     verified: "bool | None" = None
     shard_digests: "dict[int, str]" = field(default_factory=dict)
+    #: Self-healing stats (present when the gateway ran with a fault
+    #: plan): faults armed, auto recoveries, quarantines, MTTR, parking.
+    chaos: "dict | None" = None
 
     @property
     def events_per_sec(self) -> float:
@@ -108,6 +111,19 @@ class LoadReport:
                 f"snapshot cost     {self.snapshot_under_load_s:.3f}s "
                 f"(under load)"
             )
+        if self.chaos is not None:
+            c = self.chaos
+            mttr = c.get("mttr_seconds")
+            lines += [
+                f"chaos plan        {c.get('plan')}",
+                f"faults armed      {c.get('faults_armed')}",
+                f"auto recoveries   {c.get('auto_recoveries')}"
+                + (f" (mttr {mttr:.3f}s)" if mttr is not None else ""),
+                f"quarantines       {c.get('quarantines')}",
+                f"parked submits    {c.get('parked_total')} "
+                f"(lost in-flight {c.get('lost_responses')}, "
+                f"wal tears {c.get('wal_tears')})",
+            ]
         lines.append(f"fleet == batch    {verdict}")
         return "\n".join(lines)
 
@@ -158,6 +174,15 @@ def run_loadgen(
     it before continuing -- the verification at the end then proves the
     crash was invisible in the output.  ``progress`` is an optional
     callable invoked with a stats line after each release group.
+
+    Chaos mode needs no extra wiring here: when the gateway was built
+    with a :class:`~repro.gateway.faults.FaultPlan`, injected crashes
+    are detected and healed by the pool's supervisor mid-stream, parked
+    submits ack ``ok`` and replay on heal, and ``shard_unavailable``
+    refusals are excluded from the accepted set -- so the final
+    per-shard digests are verified against the batch scheduler over
+    exactly the applied events, with zero manual ``restore_worker``
+    calls.  The healing stats land in ``report.chaos``.
     """
     config = gateway.config
     if stream is None:
@@ -213,6 +238,23 @@ def run_loadgen(
         p99_ms=lat["p99_ms"],
         snapshot_under_load_s=snapshot_cost,
     )
+    pool = gateway.pool
+    if pool.fault_plan is not None:
+        # heal any still-down worker before digesting, and report the
+        # self-healing totals alongside the throughput numbers
+        pool.ensure_all_up()
+        sup = pool.supervisor
+        report.chaos = {
+            "plan": pool.fault_plan.spec(),
+            "faults_armed": pool.faults_armed,
+            "auto_recoveries": len(sup.recoveries),
+            "quarantines": sup.n_quarantines,
+            "mttr_seconds": sup.mttr_seconds,
+            "parked_total": pool.parked_total,
+            "lost_responses": pool.lost_responses,
+            "wal_tears": pool.wal_tears,
+            "recoveries": list(sup.recoveries),
+        }
     if verify:
         report.shard_digests = gateway.shard_digests()
         expected = verify_against_batch(config, accepted)

@@ -15,13 +15,16 @@ so the gateway can pipeline requests and match answers positionally.
 
 Worker-level ops (no ``shard`` field)::
 
+    {"id": 0, "op": "ping"}                            # liveness probe
     {"id": 1, "op": "worker_status"}                   # all shard statuses
     {"id": 2, "op": "snapshot_shards", "dir": "D"}     # checkpoint all
     {"id": 3, "op": "shutdown"}                        # snapshot + exit
 
 On SIGTERM/SIGINT the worker snapshots every shard to the manifest's
 ``snapshot_dir`` (when set) before exiting, so a supervisor kill is as
-recoverable as a clean shutdown.  Entry point: ``python -m
+recoverable as a clean shutdown.  A ``fault`` manifest entry arms the
+deterministic chaos layer (:mod:`repro.gateway.faults`) for this
+incarnation; absent, injection costs nothing.  Entry point: ``python -m
 repro.gateway.worker`` (spawned by :class:`~repro.gateway.gateway.
 ShardPool`; not a user-facing CLI).
 """
@@ -43,6 +46,7 @@ from ..service.daemon import (
 )
 from ..service.service import ClusterService
 from ..service.snapshot import load_snapshot, save_snapshot
+from .faults import FaultInjector
 
 __all__ = ["worker_main", "shard_snapshot_path", "build_shard"]
 
@@ -69,13 +73,31 @@ def build_shard(spec: dict, restore_from: "str | None") -> ClusterService:
 
 
 def _snapshot_all(
-    shards: "dict[int, ClusterService]", out_dir: "str | Path"
+    shards: "dict[int, ClusterService]",
+    out_dir: "str | Path",
+    injector: "FaultInjector | None" = None,
 ) -> "dict[str, dict]":
-    """Checkpoint every shard; returns ``shard -> {path, digest, hash}``."""
+    """Checkpoint every shard; returns ``shard -> {path, digest, hash}``.
+
+    Each shard is acked individually: an injected ``torn_checkpoint``
+    fault leaves a partial ``*.tmp`` beside the intact previous
+    checkpoint (never renamed into place) and reports ``{"error": ...}``
+    for that shard alone, so the pool keeps the old checkpoint metadata
+    and recovery replays a longer WAL tail.
+    """
     result = {}
     for sid, service in sorted(shards.items()):
         payload = service.snapshot()
         path = shard_snapshot_path(out_dir, sid)
+        if injector is not None and injector.take_torn_checkpoint():
+            # what a crash mid-write leaves with atomic temp+rename:
+            # a torn temp file, the real path untouched
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.parent.mkdir(parents=True, exist_ok=True)
+            text = json.dumps(payload, sort_keys=True, indent=1)
+            tmp.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+            result[str(sid)] = {"error": "torn checkpoint write (injected)"}
+            continue
         save_snapshot(payload, path)
         result[str(sid)] = {
             "path": str(path),
@@ -103,6 +125,9 @@ def serve_shards(
     snapshot_dir = manifest.get("snapshot_dir")
     linger_ms = manifest.get("linger_ms")
     linger_s = None if linger_ms is None else float(linger_ms) / 1000.0
+    injector = FaultInjector.from_manifest(manifest.get("fault"))
+    if injector is not None:
+        injector.bind_output(out)
 
     out.write(
         json.dumps(
@@ -147,6 +172,7 @@ def serve_shards(
             if not line:
                 continue
             keep = True
+            suppress = False
             req_id = None
             try:
                 cmd = json.loads(line)
@@ -160,10 +186,19 @@ def serve_shards(
                     sid = int(cmd["shard"])
                     if sid not in shards:
                         raise ValueError(f"worker does not own shard {sid}")
+                    # only shard commands count toward injected faults:
+                    # pings/worker ops stay reliable so liveness detection
+                    # is never itself the thing injected against
+                    if injector is not None:
+                        injector.before_apply()
                     # per-shard semantics are the single daemon's, verbatim;
                     # a shard-level "stop" is not a worker exit
                     response, _ = _handle(shards[sid], cmd)
                     response["shard"] = sid
+                    if injector is not None:
+                        suppress = injector.suppress_response()
+                elif op == "ping":
+                    response = {"ok": True, "pong": True}
                 elif op == "worker_status":
                     response = {
                         "ok": True,
@@ -181,13 +216,13 @@ def serve_shards(
                         )
                     response = {
                         "ok": True,
-                        "snapshots": _snapshot_all(shards, target),
+                        "snapshots": _snapshot_all(shards, target, injector),
                     }
                 elif op == "shutdown":
                     response = {"ok": True, "stopped": True}
                     if snapshot_dir is not None:
                         response["snapshots"] = _snapshot_all(
-                            shards, snapshot_dir
+                            shards, snapshot_dir, injector
                         )
                     keep = False
                 else:
@@ -200,8 +235,11 @@ def serve_shards(
             if req_id is not None:
                 response["id"] = req_id
             check_linger()
-            out.write(json.dumps(response) + "\n")
-            out.flush()
+            if not suppress:
+                out.write(json.dumps(response) + "\n")
+                out.flush()
+                if injector is not None:
+                    injector.after_reply()
             if not keep:
                 break
     except ShutdownRequested:

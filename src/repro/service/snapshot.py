@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 from .state import ServiceOp
@@ -106,11 +107,23 @@ def check_snapshot(payload: dict) -> list[ServiceOp]:
 
 
 def save_snapshot(payload: dict, path: "str | Path") -> Path:
+    """Write a checkpoint atomically: temp file, fsync, ``os.rename``.
+
+    A crash (or injected fault) mid-write can therefore only ever leave a
+    torn ``*.tmp`` beside an intact previous checkpoint -- readers never
+    observe a half-written file, which is what lets gateway recovery fall
+    back to the previous checkpoint plus a longer WAL replay instead of
+    dying on corrupt JSON.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
-    )
+    tmp = path.with_name(path.name + ".tmp")
+    data = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.rename(tmp, path)
     return path
 
 
